@@ -1,0 +1,265 @@
+// Benchmark harness: one testing.B benchmark per figure and table of the
+// paper's evaluation. Each benchmark regenerates its experiment (at quick
+// scale per iteration; run cmd/stbench -scale full for paper-size runs) and
+// reports the experiment's headline quantities as custom benchmark metrics,
+// so `go test -bench=. -benchmem` prints the reproduced numbers next to
+// the timing.
+package main
+
+import (
+	"testing"
+
+	"softtimers/internal/experiments"
+)
+
+func quick() experiments.Scale { return experiments.QuickScale() }
+
+// BenchmarkFig2HardwareTimerThroughput regenerates Figure 2: Apache
+// throughput as an extra hardware timer's frequency rises to 100 kHz.
+func BenchmarkFig2HardwareTimerThroughput(b *testing.B) {
+	var base, at100 float64
+	for i := 0; i < b.N; i++ {
+		sc := quick()
+		sc.FreqStepKHz = 50
+		res := experiments.RunFig2(sc)
+		base = res.Base
+		at100 = res.Rows[len(res.Rows)-1].Throughput
+	}
+	b.ReportMetric(base, "base_conn/s")
+	b.ReportMetric(at100, "conn/s@100kHz")
+}
+
+// BenchmarkFig3HardwareTimerOverhead regenerates Figure 3: the per-
+// interrupt overhead implied by the throughput reduction (paper: ~4.45 µs).
+func BenchmarkFig3HardwareTimerOverhead(b *testing.B) {
+	var perIntr, ovhd float64
+	for i := 0; i < b.N; i++ {
+		sc := quick()
+		sc.FreqStepKHz = 100
+		res := experiments.RunFig2(sc)
+		last := res.Rows[len(res.Rows)-1]
+		perIntr, ovhd = last.PerIntrUS, last.Overhead
+	}
+	b.ReportMetric(perIntr, "us/interrupt")
+	b.ReportMetric(ovhd*100, "overhead%@100kHz")
+}
+
+// BenchmarkSec52SoftTimerBaseOverhead regenerates Section 5.2's result: a
+// maximal-rate null soft-timer event costs nothing observable.
+func BenchmarkSec52SoftTimerBaseOverhead(b *testing.B) {
+	var ovhd, fire float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunSec52(quick())
+		ovhd, fire = res.Overhead, res.MeanFireUS
+	}
+	b.ReportMetric(ovhd*100, "overhead%")
+	b.ReportMetric(fire, "fire_interval_us")
+}
+
+// BenchmarkTable1TriggerIntervals regenerates Table 1 / Figure 4: the
+// trigger-interval distribution of all workloads. Reports ST-Apache's
+// mean/median (paper: 31.52 / 18 µs).
+func BenchmarkTable1TriggerIntervals(b *testing.B) {
+	var mean, median float64
+	for i := 0; i < b.N; i++ {
+		sc := quick()
+		sc.Samples = 100_000
+		res := experiments.RunTable1(sc)
+		mean, median = res.Rows[0].MeanUS, res.Rows[0].MedianUS
+	}
+	b.ReportMetric(mean, "apache_mean_us")
+	b.ReportMetric(median, "apache_median_us")
+}
+
+// BenchmarkFig5WindowedMedians regenerates Figure 5: trigger-interval
+// medians over 1 ms vs 10 ms windows for ST-Apache-compute.
+func BenchmarkFig5WindowedMedians(b *testing.B) {
+	var spread, above40 float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig5(quick())
+		spread = res.Max10 - res.Min10
+		above40 = res.Frac1msAbove40
+	}
+	b.ReportMetric(spread, "10ms_median_spread_us")
+	b.ReportMetric(above40*100, "1ms_medians_above40us%")
+}
+
+// BenchmarkTable2TriggerSources regenerates Table 2: the per-source
+// breakdown of ST-Apache trigger states (paper: syscalls 47.7%).
+func BenchmarkTable2TriggerSources(b *testing.B) {
+	var sys, ipout float64
+	for i := 0; i < b.N; i++ {
+		sc := quick()
+		sc.Samples = 100_000
+		res := experiments.RunTable2(sc)
+		for src, f := range res.Fraction {
+			switch src.String() {
+			case "syscalls":
+				sys = f
+			case "ip-output":
+				ipout = f
+			}
+		}
+	}
+	b.ReportMetric(sys*100, "syscalls%")
+	b.ReportMetric(ipout*100, "ip-output%")
+}
+
+// BenchmarkFig6SourceAblation regenerates Figure 6: the distribution with
+// each trigger source removed. Reports the no-syscalls degradation.
+func BenchmarkFig6SourceAblation(b *testing.B) {
+	var all, noSys float64
+	for i := 0; i < b.N; i++ {
+		sc := quick()
+		sc.Samples = 60_000
+		res := experiments.RunFig6(sc)
+		for _, s := range res.Series {
+			switch s.Removed {
+			case "All":
+				all = s.MeanUS
+			case "no syscalls":
+				noSys = s.MeanUS
+			}
+		}
+	}
+	b.ReportMetric(all, "mean_us_all")
+	b.ReportMetric(noSys, "mean_us_no_syscalls")
+}
+
+// BenchmarkTable3RateClockingOverhead regenerates Table 3: pacing via a
+// 50 kHz hardware timer (paper: 28–36% overhead) vs soft timers (2–6%).
+func BenchmarkTable3RateClockingOverhead(b *testing.B) {
+	var hw, soft float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable3(quick())
+		hw, soft = res.Rows[0].HWOverhead, res.Rows[0].SoftOverhead
+	}
+	b.ReportMetric(hw*100, "apache_hw_overhead%")
+	b.ReportMetric(soft*100, "apache_soft_overhead%")
+}
+
+// BenchmarkTable4PacingTarget40 regenerates Table 4: achieved transmission
+// intervals at a 40 µs target under the ST-Apache trigger stream.
+func BenchmarkTable4PacingTarget40(b *testing.B) {
+	var at12, at35 float64
+	for i := 0; i < b.N; i++ {
+		sc := quick()
+		sc.PacerTrain = 5000
+		res := experiments.RunPacing(sc, 40)
+		at12 = res.Rows[0].SoftAvgUS
+		at35 = res.Rows[len(res.Rows)-1].SoftAvgUS
+	}
+	b.ReportMetric(at12, "avg_us@min12")
+	b.ReportMetric(at35, "avg_us@min35")
+}
+
+// BenchmarkTable5PacingTarget60 regenerates Table 5 (60 µs target).
+func BenchmarkTable5PacingTarget60(b *testing.B) {
+	var at12 float64
+	for i := 0; i < b.N; i++ {
+		sc := quick()
+		sc.PacerTrain = 5000
+		res := experiments.RunPacing(sc, 60)
+		at12 = res.Rows[0].SoftAvgUS
+	}
+	b.ReportMetric(at12, "avg_us@min12")
+}
+
+// BenchmarkTable6WAN50Mbps regenerates Table 6: transfers over the 50 Mbps
+// / 100 ms-RTT WAN, regular TCP vs rate-based clocking (paper: up to 89%
+// response-time reduction at 100 packets).
+func BenchmarkTable6WAN50Mbps(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		sc := quick()
+		sc.WANTransfers = []int64{100}
+		res := experiments.RunWAN(sc, 50)
+		reduction = res.Rows[0].RespReduction
+	}
+	b.ReportMetric(reduction*100, "resp_reduction%@100pkt")
+}
+
+// BenchmarkTable7WAN100Mbps regenerates Table 7 (100 Mbps bottleneck).
+func BenchmarkTable7WAN100Mbps(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		sc := quick()
+		sc.WANTransfers = []int64{100}
+		res := experiments.RunWAN(sc, 100)
+		reduction = res.Rows[0].RespReduction
+	}
+	b.ReportMetric(reduction*100, "resp_reduction%@100pkt")
+}
+
+// BenchmarkSec510UsefulRange regenerates the Section 5.10 analysis: the
+// soft-timer useful range widens with CPU speed.
+func BenchmarkSec510UsefulRange(b *testing.B) {
+	var piiRatio, xeonRatio float64
+	for i := 0; i < b.N; i++ {
+		sc := quick()
+		sc.Samples = 80_000
+		res := experiments.RunUsefulRange(sc)
+		piiRatio = res.Rows[0].HWFloorUS / res.Rows[0].TriggerMeanUS
+		xeonRatio = res.Rows[1].HWFloorUS / res.Rows[1].TriggerMeanUS
+	}
+	b.ReportMetric(piiRatio, "range_ratio_pii300")
+	b.ReportMetric(xeonRatio, "range_ratio_piii500")
+}
+
+// BenchmarkAblationWheelStructures compares the hashed and hierarchical
+// timing wheels backing the facility (a design-choice ablation).
+func BenchmarkAblationWheelStructures(b *testing.B) {
+	var hashed, hier float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunWheelAblation(quick())
+		hashed, hier = res.Rows[0].Throughput, res.Rows[1].Throughput
+	}
+	b.ReportMetric(hashed, "hashed_conn/s")
+	b.ReportMetric(hier, "hierarchical_conn/s")
+}
+
+// BenchmarkAblationIdlePolicy compares idle-loop policies: spin vs the
+// paper's halt-when-quiet rule vs always halting.
+func BenchmarkAblationIdlePolicy(b *testing.B) {
+	var quietDelay, haltDelay float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunIdleAblation(quick())
+		for _, row := range res.Rows {
+			switch row.Policy {
+			case "halt-when-quiet":
+				quietDelay = row.MeanDelayUS
+			case "halt-always":
+				haltDelay = row.MeanDelayUS
+			}
+		}
+	}
+	b.ReportMetric(quietDelay, "halt_when_quiet_delay_us")
+	b.ReportMetric(haltDelay, "halt_always_delay_us")
+}
+
+// BenchmarkAblationPollution isolates the cache-pollution model's share of
+// hardware-timer overhead.
+func BenchmarkAblationPollution(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunPollutionAblation(quick())
+		with, without = res.HWOverheadWith, res.HWOverheadWithout
+	}
+	b.ReportMetric(with*100, "hw_overhead_polluted%")
+	b.ReportMetric(without*100, "hw_overhead_unpolluted%")
+}
+
+// BenchmarkTable8NetworkPolling regenerates Table 8: soft-timer network
+// polling vs interrupts (paper: 3–25% higher throughput).
+func BenchmarkTable8NetworkPolling(b *testing.B) {
+	var flashQ15 float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable8(quick())
+		for _, row := range res.Rows {
+			if row.Server == "Flash" && row.Protocol == "P-HTTP" {
+				flashQ15 = row.SpeedupAt[15]
+			}
+		}
+	}
+	b.ReportMetric(flashQ15, "flash_phttp_speedup@q15")
+}

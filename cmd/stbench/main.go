@@ -1,0 +1,101 @@
+// Command stbench runs the paper-reproduction experiments and prints each
+// figure/table in the layout of the paper, annotated with the published
+// values for comparison.
+//
+// Usage:
+//
+//	stbench -exp table1            # one experiment at quick scale
+//	stbench -exp all -scale full   # the whole evaluation at paper scale
+//
+// Experiments: fig2, fig3 (alias of fig2), sec52, table1 (incl. figure 4),
+// fig5, table2, fig6, table3, table4, table5, table6, table7, table8,
+// delaydist (§3's d distribution), sec510 (useful-range analysis),
+// ablation-wheel, ablation-idle, ablation-pollution, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"softtimers/internal/experiments"
+)
+
+type runner func(sc experiments.Scale) *experiments.Table
+
+var registry = map[string]runner{
+	"fig2":   func(sc experiments.Scale) *experiments.Table { return experiments.RunFig2(sc).Table() },
+	"sec52":  func(sc experiments.Scale) *experiments.Table { return experiments.RunSec52(sc).Table() },
+	"table1": func(sc experiments.Scale) *experiments.Table { return experiments.RunTable1(sc).Table() },
+	"fig5":   func(sc experiments.Scale) *experiments.Table { return experiments.RunFig5(sc).Table() },
+	"table2": func(sc experiments.Scale) *experiments.Table { return experiments.RunTable2(sc).Table() },
+	"fig6":   func(sc experiments.Scale) *experiments.Table { return experiments.RunFig6(sc).Table() },
+	"table3": func(sc experiments.Scale) *experiments.Table { return experiments.RunTable3(sc).Table() },
+	"table4": func(sc experiments.Scale) *experiments.Table { return experiments.RunPacing(sc, 40).Table() },
+	"table5": func(sc experiments.Scale) *experiments.Table { return experiments.RunPacing(sc, 60).Table() },
+	"table6": func(sc experiments.Scale) *experiments.Table { return experiments.RunWAN(sc, 50).Table() },
+	"table7": func(sc experiments.Scale) *experiments.Table { return experiments.RunWAN(sc, 100).Table() },
+	"table8": func(sc experiments.Scale) *experiments.Table { return experiments.RunTable8(sc).Table() },
+	// Beyond the paper's figures: Section 5.10's useful-range analysis
+	// and ablations of this reproduction's own design choices.
+	"sec510":             func(sc experiments.Scale) *experiments.Table { return experiments.RunUsefulRange(sc).Table() },
+	"delaydist":          func(sc experiments.Scale) *experiments.Table { return experiments.RunDelayDist(sc).Table() },
+	"ablation-wheel":     func(sc experiments.Scale) *experiments.Table { return experiments.RunWheelAblation(sc).Table() },
+	"ablation-idle":      func(sc experiments.Scale) *experiments.Table { return experiments.RunIdleAblation(sc).Table() },
+	"ablation-pollution": func(sc experiments.Scale) *experiments.Table { return experiments.RunPollutionAblation(sc).Table() },
+}
+
+// order fixes the presentation sequence for -exp all.
+var order = []string{"fig2", "sec52", "table1", "fig5", "table2", "fig6",
+	"table3", "table4", "table5", "table6", "table7", "table8",
+	"delaydist", "sec510", "ablation-wheel", "ablation-idle", "ablation-pollution"}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig2, sec52, table1, fig5, table2, fig6, table3..table8, all)")
+	scale := flag.String("scale", "quick", "experiment scale: quick or full (paper-size)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scale)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+
+	name := strings.ToLower(*exp)
+	if name == "fig3" || name == "fig4" {
+		// Figure 3 is derived from Figure 2's data; Figure 4 from Table 1's.
+		alias := map[string]string{"fig3": "fig2", "fig4": "table1"}
+		name = alias[name]
+	}
+	var names []string
+	if name == "all" {
+		names = order
+	} else if _, ok := registry[name]; ok {
+		names = []string{name}
+	} else {
+		known := make([]string, 0, len(registry))
+		for k := range registry {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s, all\n", *exp, strings.Join(known, ", "))
+		os.Exit(2)
+	}
+
+	for _, n := range names {
+		start := time.Now()
+		table := registry[n](sc)
+		fmt.Println(table.Render())
+		fmt.Printf("(%s completed in %v)\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,84 @@
+// Command sttrace runs one of the paper's workloads on the simulated
+// kernel and dumps trigger-state data as CSV for plotting: either the
+// interval CDF (Figure 4 style), the per-source counts (Table 2 style), or
+// a raw trace of (time, interval, source) samples.
+//
+// Usage:
+//
+//	sttrace -workload ST-Apache -mode cdf      > apache_cdf.csv
+//	sttrace -workload ST-nfs    -mode sources  > nfs_sources.csv
+//	sttrace -workload ST-Flash  -mode trace -n 10000 > flash_trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"softtimers/internal/cpu"
+	"softtimers/internal/kernel"
+	"softtimers/internal/sim"
+	"softtimers/internal/workloads"
+)
+
+func main() {
+	wl := flag.String("workload", "ST-Apache", "workload name (ST-Apache, ST-Apache-compute, ST-Flash, ST-real-audio, ST-nfs, ST-kernel-build)")
+	mode := flag.String("mode", "cdf", "output: cdf, sources, or trace")
+	n := flag.Int64("n", 500000, "number of trigger-interval samples")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	xeon := flag.Bool("xeon", false, "use the 500 MHz Pentium III profile instead of the P-II 300")
+	flag.Parse()
+
+	def, err := workloads.ByName(*wl)
+	if err != nil {
+		names := make([]string, 0, 6)
+		for _, d := range workloads.All() {
+			names = append(names, d.Name)
+		}
+		fmt.Fprintf(os.Stderr, "%v (known: %s)\n", err, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+	prof := cpu.PentiumII300()
+	if *xeon {
+		prof = cpu.PentiumIII500()
+	}
+	rig := def.Make(*seed, prof)
+
+	switch *mode {
+	case "trace":
+		fmt.Println("time_us,interval_us,source")
+		count := int64(0)
+		rig.K.Meter().Trace = func(now sim.Time, iv sim.Time, src kernel.Source) {
+			if count < *n {
+				fmt.Printf("%.3f,%.3f,%s\n", now.Micros(), iv.Micros(), src)
+			}
+			count++
+		}
+		rig.Collect(*n, sim.Second, 600*sim.Second)
+	case "cdf":
+		rig.Collect(*n, sim.Second, 600*sim.Second)
+		fmt.Println("interval_us,cumulative_fraction")
+		for _, p := range rig.K.Meter().Hist.CDF(200) {
+			fmt.Printf("%.0f,%.6f\n", p.X, p.Frac)
+		}
+	case "sources":
+		rig.Collect(*n, sim.Second, 600*sim.Second)
+		fmt.Println("source,count,fraction")
+		m := rig.K.Meter()
+		var total int64
+		for s := 0; s < kernel.NumSources; s++ {
+			total += m.BySource[s]
+		}
+		for s := 0; s < kernel.NumSources; s++ {
+			if m.BySource[s] == 0 {
+				continue
+			}
+			fmt.Printf("%s,%d,%.6f\n", kernel.Source(s), m.BySource[s],
+				float64(m.BySource[s])/float64(total))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (want cdf, sources, or trace)\n", *mode)
+		os.Exit(2)
+	}
+}

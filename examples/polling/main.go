@@ -1,0 +1,67 @@
+// Polling: soft-timer network polling versus interrupt-driven packet
+// processing (Section 5.9). The same saturated Flash web server runs twice:
+// once with a conventional per-packet-interrupt NIC, once with a NIC polled
+// from soft-timer events targeting an aggregation quota — no interrupts,
+// better locality, same µs-scale delivery latency.
+package main
+
+import (
+	"fmt"
+
+	"softtimers/internal/httpserv"
+	"softtimers/internal/nic"
+	"softtimers/internal/sim"
+)
+
+func main() {
+	type outcome struct {
+		label       string
+		throughput  float64
+		interrupts  int64
+		polls       int64
+		pktsPerPoll float64
+	}
+	var results []outcome
+
+	run := func(label string, mode nic.Mode, quota float64) {
+		tb := httpserv.NewTestbed(httpserv.TestbedConfig{
+			Seed: 3,
+			NIC:  nic.Config{Mode: mode, AggregationQuota: quota},
+			Server: httpserv.Config{
+				Kind:       httpserv.Flash,
+				Persistent: true, // P-HTTP stresses the network path hardest
+			},
+			LinkBps:     400_000_000,
+			Concurrency: 48,
+		})
+		res := tb.Run(sim.Second, 3*sim.Second)
+		o := outcome{
+			label:      label,
+			throughput: res.Throughput,
+			interrupts: tb.NIC.RxInterrupts + tb.NIC.TxComplInterrupts,
+			polls:      tb.NIC.Polls,
+		}
+		if tb.NIC.Polls > 0 {
+			o.pktsPerPoll = float64(tb.NIC.PolledPackets) / float64(tb.NIC.Polls)
+		}
+		results = append(results, o)
+	}
+
+	run("interrupts (conventional)", nic.Interrupt, 1)
+	for _, q := range []float64{1, 5, 15} {
+		run(fmt.Sprintf("soft-timer polling, quota %g", q), nic.SoftPoll, q)
+	}
+
+	base := results[0].throughput
+	fmt.Println("Flash web server, persistent HTTP, 6KB responses, saturated:")
+	fmt.Println()
+	fmt.Printf("%-30s %10s %9s %12s %10s %9s\n",
+		"mode", "req/s", "speedup", "interrupts", "polls", "pkts/poll")
+	for _, o := range results {
+		fmt.Printf("%-30s %10.0f %8.2fx %12d %10d %9.2f\n",
+			o.label, o.throughput, o.throughput/base, o.interrupts, o.polls, o.pktsPerPoll)
+	}
+	fmt.Println()
+	fmt.Println("Polling eliminates network interrupts; raising the aggregation quota")
+	fmt.Println("amortizes per-poll costs and improves locality (paper: up to +25%).")
+}

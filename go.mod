@@ -1,0 +1,3 @@
+module softtimers
+
+go 1.22

@@ -1,0 +1,244 @@
+// Package core implements the paper's contribution: the soft-timer
+// facility (Section 3), which schedules software events at microsecond
+// granularity without hardware timer interrupts.
+//
+// The facility hooks every kernel trigger state — syscall returns, trap and
+// interrupt handler exits, IP packet transmissions, the idle loop — and at
+// each one performs a check costing a clock read and one comparison. When
+// the earliest scheduled event is due, its handler runs right there, with
+// procedure-call cost instead of interrupt cost: the CPU state is already
+// saved and locality has already shifted. The kernel's periodic clock
+// interrupt (hardclock) is itself a trigger state, so no event is ever
+// delayed by more than one interrupt-clock period.
+//
+// The public operations mirror the paper's interface:
+//
+//	measure_resolution()         -> MeasureResolution
+//	measure_time()               -> MeasureTime
+//	schedule_soft_event(T, h)    -> ScheduleSoftEvent
+//	interrupt_clock_resolution() -> InterruptClockResolution
+//
+// An event scheduled with parameter T fires at the first trigger state at
+// which MeasureTime exceeds its scheduling time by at least T+1 ticks, so
+// its actual latency obeys the paper's bound T < actual < T + X + 1, where
+// X is the ratio of measurement to interrupt clock resolution.
+package core
+
+import (
+	"softtimers/internal/kernel"
+	"softtimers/internal/sim"
+	"softtimers/internal/stats"
+	"softtimers/internal/timerwheel"
+)
+
+// Handler is a soft-timer event handler. It receives the current time and
+// returns the CPU time its work consumes, which the facility charges to the
+// trigger state that invoked it.
+type Handler func(now sim.Time) sim.Time
+
+// Options configures the facility.
+type Options struct {
+	// MeasureHz is the measurement clock resolution. Default 1 MHz (1 µs
+	// ticks), the paper's "typical value". The paper's prototype reads
+	// the CPU cycle counter; a 1 µs software view of it keeps the timing
+	// wheel advance cheap without changing any observable behaviour at
+	// the tens-of-µs event granularities of interest.
+	MeasureHz uint64
+	// WheelSlots sizes the hashed timing wheel. Default 256.
+	WheelSlots int
+	// Hierarchical selects the hierarchical wheel variant instead of the
+	// hashed wheel (used by the timer-structure ablation benchmark).
+	Hierarchical bool
+}
+
+// Facility is the soft-timer facility, installed as a kernel TriggerSink.
+type Facility struct {
+	k       *kernel.Kernel
+	wheel   timerwheel.Queue
+	hashed  *timerwheel.Wheel // non-nil when the hashed variant is in use
+	tickDur sim.Time
+	hz      uint64
+
+	// Metrics.
+	checks    int64
+	scheduled int64
+	fired     int64
+	canceled  int64
+	// FiresBySource counts event firings per trigger source.
+	FiresBySource [kernel.NumSources]int64
+	// DelayHist records, in µs, the delay d = actual - T beyond each
+	// event's scheduled latency — the paper's d ∈ [0, X+1] variable
+	// whose distribution Section 5.3 studies.
+	DelayHist *stats.Histogram
+
+	// firing guards against re-entrant Trigger during handler execution;
+	// currentSrc and pendingCost carry context between Trigger and the
+	// wheel callbacks it fires (single-threaded, so fields suffice).
+	firing      bool
+	currentSrc  kernel.Source
+	pendingCost sim.Time
+}
+
+// New installs a soft-timer facility on k and registers it as the kernel's
+// trigger sink.
+func New(k *kernel.Kernel, opts Options) *Facility {
+	if opts.MeasureHz == 0 {
+		opts.MeasureHz = 1_000_000
+	}
+	if opts.WheelSlots == 0 {
+		opts.WheelSlots = 256
+	}
+	tickDur := sim.Second / sim.Time(opts.MeasureHz)
+	if tickDur < 1 {
+		tickDur = 1
+	}
+	f := &Facility{
+		k:         k,
+		tickDur:   tickDur,
+		hz:        opts.MeasureHz,
+		DelayHist: stats.NewHistogram(1, 2000),
+	}
+	if opts.Hierarchical {
+		f.wheel = timerwheel.NewHierarchical()
+	} else {
+		f.hashed = timerwheel.New(opts.WheelSlots)
+		f.wheel = f.hashed
+	}
+	k.SetTriggerSink(f)
+	return f
+}
+
+// MeasureResolution returns the measurement clock resolution in Hz.
+func (f *Facility) MeasureResolution() uint64 { return f.hz }
+
+// MeasureTime returns the current time in measurement clock ticks. It is a
+// monotonic interval clock, not synchronized to any standard time base.
+func (f *Facility) MeasureTime() uint64 {
+	return uint64(f.k.Now() / f.tickDur)
+}
+
+// InterruptClockResolution returns the backup interrupt clock frequency in
+// Hz — the minimum rate at which events are guaranteed to be checked, and
+// therefore the worst-case granularity of the facility.
+func (f *Facility) InterruptClockResolution() uint64 { return uint64(f.k.Hz()) }
+
+// X returns the resolution ratio measure/interrupt — the width, in
+// measurement ticks, of the event-firing bound T < actual < T + X + 1.
+func (f *Facility) X() uint64 { return f.hz / uint64(f.k.Hz()) }
+
+// Event is a handle to a scheduled soft-timer event.
+type Event struct {
+	f     *Facility
+	t     *timerwheel.Timer
+	sched uint64 // MeasureTime at scheduling
+	T     uint64 // requested latency in ticks
+}
+
+// Cancel removes the event if still pending; reports whether it was.
+func (ev *Event) Cancel() bool {
+	if ev.t.Cancel() {
+		ev.f.canceled++
+		return true
+	}
+	return false
+}
+
+// Pending reports whether the event has yet to fire.
+func (ev *Event) Pending() bool { return ev.t.Pending() }
+
+// ScheduleSoftEvent schedules h to be called at least T measurement-clock
+// ticks in the future. The handler runs at the first trigger state after
+// the deadline; its delay beyond T is bounded by the interrupt clock
+// period.
+func (f *Facility) ScheduleSoftEvent(T uint64, h Handler) *Event {
+	if h == nil {
+		panic("core: ScheduleSoftEvent with nil handler")
+	}
+	f.scheduled++
+	now := f.MeasureTime()
+	ev := &Event{f: f, sched: now, T: T}
+	// "+1 accounts for the fact that the time at which the event was
+	// scheduled may not exactly coincide with a clock tick" (Section 3).
+	deadline := now + T + 1
+	defer f.k.NudgeIdle() // a halted idle CPU may now have a reason to poll
+	ev.t = f.wheel.Schedule(deadline, func(fireTick timerwheel.Tick) {
+		f.fired++
+		f.FiresBySource[f.currentSrc]++
+		// d = actual latency minus T, in ticks; convert to µs.
+		d := float64(fireTick-ev.sched-ev.T) * float64(f.tickDur) / float64(sim.Microsecond)
+		f.DelayHist.Add(d)
+		f.pendingCost += f.k.Profile().SoftCall + h(f.k.Now())
+	})
+	return ev
+}
+
+// ScheduleAfter is a convenience wrapper scheduling h at least d of
+// simulated time in the future.
+func (f *Facility) ScheduleAfter(d sim.Time, h Handler) *Event {
+	ticks := uint64(d / f.tickDur)
+	return f.ScheduleSoftEvent(ticks, h)
+}
+
+// Trigger implements kernel.TriggerSink: the per-trigger-state check and,
+// when events are due, their execution. Returns the CPU time consumed by
+// handlers (the check itself is accounted via Checks).
+func (f *Facility) Trigger(src kernel.Source, now sim.Time) sim.Time {
+	f.checks++
+	if f.firing {
+		// A handler's own work produced a nested trigger state; the
+		// facility does not recurse (handlers already run back to back).
+		return 0
+	}
+	tick := timerwheel.Tick(now / f.tickDur)
+	if f.hashed != nil {
+		if !f.hashed.Due(tick) {
+			return 0
+		}
+	} else if e := f.wheel.Earliest(); e == timerwheel.NoDeadline || e > tick {
+		return 0
+	}
+	f.firing = true
+	f.currentSrc = src
+	f.pendingCost = 0
+	f.wheel.Advance(tick)
+	f.firing = false
+	return f.pendingCost
+}
+
+// Stats reports the facility's counters.
+type Stats struct {
+	Checks    int64 // trigger states examined
+	Scheduled int64 // events scheduled
+	Fired     int64 // events fired
+	Canceled  int64 // events canceled
+	// CheckOverhead is the estimated total CPU cost of all checks
+	// (Checks × the profile's per-check cost) — the "base overhead"
+	// Section 5.2 finds unobservable.
+	CheckOverhead sim.Time
+}
+
+// Stats returns a snapshot of the facility's counters.
+func (f *Facility) Stats() Stats {
+	return Stats{
+		Checks:        f.checks,
+		Scheduled:     f.scheduled,
+		Fired:         f.fired,
+		Canceled:      f.canceled,
+		CheckOverhead: sim.Time(f.checks) * f.k.Profile().SoftCheck,
+	}
+}
+
+// Pending returns the number of scheduled-but-unfired events.
+func (f *Facility) Pending() int { return f.wheel.Len() }
+
+// EventBefore implements kernel.IdleAdvisor: it reports whether any
+// soft-timer event is due before time t, letting the idle loop halt for
+// power saving when nothing needs microsecond service before the next
+// hardclock tick (Section 3's idle-halt rule).
+func (f *Facility) EventBefore(t sim.Time) bool {
+	e := f.wheel.Earliest()
+	if e == timerwheel.NoDeadline {
+		return false
+	}
+	return sim.Time(e)*f.tickDur < t
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWheelAblationVariantsAgree(t *testing.T) {
+	sc := QuickScale()
+	res := RunWheelAblation(sc)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	hashed, hier := res.Rows[0], res.Rows[1]
+	if hashed.Structure != "hashed" || hier.Structure != "hierarchical" {
+		t.Fatalf("structures = %q/%q", hashed.Structure, hier.Structure)
+	}
+	// Identical seed + identical semantics => near-identical behaviour
+	// regardless of timer structure.
+	if math.Abs(hashed.Throughput-hier.Throughput)/hashed.Throughput > 0.02 {
+		t.Errorf("throughput diverges: %.0f vs %.0f", hashed.Throughput, hier.Throughput)
+	}
+	if math.Abs(hashed.MeanDelayUS-hier.MeanDelayUS) > 5 {
+		t.Errorf("delay diverges: %.1f vs %.1f us", hashed.MeanDelayUS, hier.MeanDelayUS)
+	}
+	if hashed.Fired == 0 || hier.Fired == 0 {
+		t.Error("no events fired")
+	}
+	_ = res.Table().Render()
+}
+
+func TestIdleAblationPolicies(t *testing.T) {
+	res := RunIdleAblation(QuickScale())
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]IdleAblationRow{}
+	for _, r := range res.Rows {
+		byName[r.Policy] = r
+	}
+	spin, quiet, halt := byName["spin"], byName["halt-when-quiet"], byName["halt-always"]
+	// Spinning and halt-when-quiet both deliver ~µs precision for a
+	// pending 50us event; halt-always degrades toward the 1ms tick.
+	if spin.MeanDelayUS > 10 {
+		t.Errorf("spin delay = %.1fus, want small", spin.MeanDelayUS)
+	}
+	if quiet.MeanDelayUS > 10 {
+		t.Errorf("halt-when-quiet delay = %.1fus, want small (event always pending)", quiet.MeanDelayUS)
+	}
+	if halt.MeanDelayUS < 100 {
+		t.Errorf("halt-always delay = %.1fus, want degraded toward 1ms tick", halt.MeanDelayUS)
+	}
+	if spin.IdlePolls == 0 {
+		t.Error("spin policy recorded no idle polls")
+	}
+	_ = res.Table().Render()
+}
+
+func TestPollutionAblationShowsLocalityDominates(t *testing.T) {
+	res := RunPollutionAblation(QuickScale())
+	// The pollution model must account for a large share of the
+	// hardware-timer overhead on the cache-sensitive server.
+	if res.HWOverheadWith <= res.HWOverheadWithout {
+		t.Fatalf("pollution did not increase HW overhead: %.1f%% vs %.1f%%",
+			res.HWOverheadWith*100, res.HWOverheadWithout*100)
+	}
+	share := (res.HWOverheadWith - res.HWOverheadWithout) / res.HWOverheadWith
+	if share < 0.3 {
+		t.Errorf("pollution share of HW overhead = %.0f%%, want dominant-ish", share*100)
+	}
+	_ = res.Table().Render()
+}
+
+func TestUsefulRangeWidensWithCPUSpeed(t *testing.T) {
+	sc := QuickScale()
+	sc.Samples = 100_000
+	res := RunUsefulRange(sc)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	pii, xeon := res.Rows[0], res.Rows[1]
+	// Trigger interval shrinks with CPU speed...
+	if xeon.TriggerMeanUS >= pii.TriggerMeanUS {
+		t.Errorf("Xeon trigger mean %.1f not below PII's %.1f",
+			xeon.TriggerMeanUS, pii.TriggerMeanUS)
+	}
+	// ...while the hardware floor barely moves (interrupt cost constant).
+	if math.Abs(xeon.HWFloorUS-pii.HWFloorUS)/pii.HWFloorUS > 0.1 {
+		t.Errorf("HW floor moved: %.1f vs %.1f", xeon.HWFloorUS, pii.HWFloorUS)
+	}
+	// Net: the useful range widens — the paper's Section 5.10 claim.
+	if xeon.HWFloorUS/xeon.TriggerMeanUS <= pii.HWFloorUS/pii.TriggerMeanUS {
+		t.Error("useful range did not widen on the faster CPU")
+	}
+	_ = res.Table().Render()
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+func TestDelayDistMatchesPaperShape(t *testing.T) {
+	sc := QuickScale()
+	res := RunDelayDist(sc)
+	if res.N < 500 {
+		t.Fatalf("samples = %d", res.N)
+	}
+	// Paper: worst-case d has mean 31.6us; far below the ~500us a
+	// conventional 1kHz timer facility would average.
+	if res.MeanUS < 20 || res.MeanUS > 45 {
+		t.Errorf("mean d = %.1fus, want ~31.6", res.MeanUS)
+	}
+	if res.MeanUS > res.UniformMeanUS/8 {
+		t.Errorf("soft-timer mean d %.1fus not clearly below conventional %.0fus",
+			res.MeanUS, res.UniformMeanUS)
+	}
+	// Heavily skewed low: median well below the p99.
+	if res.MedianUS >= res.P99US/2 {
+		t.Errorf("distribution not skewed: median %.1f vs p99 %.1f", res.MedianUS, res.P99US)
+	}
+	// Bounded by the hardclock backup.
+	if res.MaxUS > 1100 {
+		t.Errorf("max d = %.0fus beyond the interrupt-clock bound", res.MaxUS)
+	}
+	// CDF must be monotone and reach a high fraction by 150us (paper:
+	// delays over 100us in <6% of samples for this workload).
+	last := 0.0
+	for _, p := range res.CDF {
+		if p.Frac < last {
+			t.Fatal("CDF not monotone")
+		}
+		last = p.Frac
+	}
+	if last < 0.90 {
+		t.Errorf("CDF@200us = %.2f, want most delays small", last)
+	}
+	_ = res.Table().Render()
+}

@@ -1,0 +1,111 @@
+// Package experiments contains one driver per figure and table of the
+// paper's evaluation (Section 5). Each driver assembles the relevant
+// workload on the simulated substrate, runs it, and returns a typed result
+// that renders as a paper-style table annotated with the paper's reported
+// values, so paper-vs-measured comparison is immediate.
+//
+// Drivers take a Scale: FullScale reproduces the paper's sample counts and
+// run lengths; QuickScale runs the same experiments at reduced size for
+// tests and quick iteration.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"softtimers/internal/sim"
+)
+
+// Scale controls experiment size.
+type Scale struct {
+	// Seed makes every run deterministic.
+	Seed uint64
+	// Samples is the trigger-interval sample count for the distribution
+	// experiments (the paper took 2 million per workload).
+	Samples int64
+	// Warmup and Measure bound the throughput experiments.
+	Warmup, Measure sim.Time
+	// PacerTrain is the packet-train length for the transmission-process
+	// statistics (Tables 4 and 5).
+	PacerTrain int64
+	// WANTransfers are the transfer sizes, in 1448-byte packets, for the
+	// WAN experiments (Tables 6 and 7).
+	WANTransfers []int64
+	// FreqStepKHz is the frequency step for Figures 2 and 3.
+	FreqStepKHz int
+}
+
+// FullScale reproduces the paper's experiment sizes.
+func FullScale() Scale {
+	return Scale{
+		Seed:         1,
+		Samples:      2_000_000,
+		Warmup:       2 * sim.Second,
+		Measure:      10 * sim.Second,
+		PacerTrain:   100_000,
+		WANTransfers: []int64{5, 100, 1000, 10000, 100000},
+		FreqStepKHz:  10,
+	}
+}
+
+// QuickScale shrinks everything for fast tests; shapes still hold.
+func QuickScale() Scale {
+	return Scale{
+		Seed:         1,
+		Samples:      150_000,
+		Warmup:       sim.Second,
+		Measure:      2 * sim.Second,
+		PacerTrain:   20_000,
+		WANTransfers: []int64{5, 100, 1000},
+		FreqStepKHz:  25,
+	}
+}
+
+// Table is a generic rendered result: a title, column headers, and rows.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries paper-comparison remarks.
+	Notes []string
+}
+
+// Render formats the table for terminal output.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// f1 formats a float with one decimal; f2 with two; f0 as integer.
+func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"softtimers/internal/cpu"
+	"softtimers/internal/stats"
+	"softtimers/internal/workloads"
+)
+
+// Table1Row summarizes one workload's trigger-interval distribution
+// (Table 1), with the paper's values alongside.
+type Table1Row struct {
+	Name     string
+	MaxUS    float64
+	MeanUS   float64
+	MedianUS float64
+	Above100 float64 // fraction
+	Above150 float64
+	// CDF samples the distribution at 1 µs steps up to 150 µs (Figure 4).
+	CDF []stats.CDFPoint
+	// Paper values for the same row (Max, Mean, Median, >100µs%, >150µs%).
+	Paper [5]float64
+}
+
+// Table1Result is Figure 4 + Table 1 (plus the Xeon check row).
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// paperTable1 holds the published Table 1 values.
+var paperTable1 = map[string][5]float64{
+	"ST-Apache":         {476, 31.52, 18, 5.3, 0.39},
+	"ST-Apache-compute": {585, 31.59, 18, 5.3, 0.43},
+	"ST-Flash":          {1000, 22.53, 17, 1.09, 0.013},
+	"ST-real-audio":     {1000, 8.47, 6, 0.025, 0.013},
+	"ST-nfs":            {910, 2.13, 2, 0.021, 0.011},
+	"ST-kernel-build":   {1000, 5.63, 2, 0.038, 0.011},
+	"ST-Apache (Xeon)":  {1000, 19.41, 11, 0.44, 0.13},
+}
+
+// RunTable1 measures the trigger-state interval distribution of every
+// workload (Section 5.3: 2 million samples each), including the 500 MHz
+// Xeon repeat of ST-Apache.
+func RunTable1(sc Scale) *Table1Result {
+	res := &Table1Result{}
+	run := func(name string, rig *workloads.Rig) {
+		rig.Collect(sc.Samples, sc.Warmup, 600e9)
+		h := rig.K.Meter().Hist
+		row := Table1Row{
+			Name:     name,
+			MaxUS:    h.Quantile(1),
+			MeanUS:   h.Mean(),
+			MedianUS: h.Quantile(0.5),
+			Above100: h.FracAbove(100),
+			Above150: h.FracAbove(150),
+			CDF:      h.CDF(150),
+			Paper:    paperTable1[name],
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, d := range workloads.All() {
+		run(d.Name, d.Make(sc.Seed, cpu.PentiumII300()))
+	}
+	apache, _ := workloads.ByName("ST-Apache")
+	run("ST-Apache (Xeon)", apache.Make(sc.Seed, cpu.PentiumIII500()))
+	return res
+}
+
+// Table renders Table 1 with paper values interleaved.
+func (r *Table1Result) Table() *Table {
+	t := &Table{
+		Title: "Table 1 / Figure 4 — trigger state interval distribution",
+		Columns: []string{"workload", "max(us)", "mean(us)", "median(us)",
+			">100us(%)", ">150us(%)", "paper(mean/med)"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Name, f0(row.MaxUS), f2(row.MeanUS), f1(row.MedianUS),
+			f2(row.Above100 * 100), f2(row.Above150 * 100),
+			f2(row.Paper[1]) + "/" + f0(row.Paper[2]),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper medians/means per workload are shown in the last column; shapes should match")
+	return t
+}

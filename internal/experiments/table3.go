@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"softtimers/internal/httpserv"
+)
+
+// Table3Row is one server's rate-based-clocking overhead comparison.
+type Table3Row struct {
+	Server         string
+	Base           float64 // conn/s, normal burst transmission
+	HWThroughput   float64 // conn/s with hardware-timer pacing (50 kHz)
+	HWOverhead     float64 // fraction
+	HWIntervalUS   float64 // avg inter-transmission interval
+	SoftThroughput float64
+	SoftOverhead   float64
+	SoftIntervalUS float64
+}
+
+// Table3Result reproduces Table 3.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// RunTable3 compares the overhead of rate-based clocking in TCP using soft
+// timers versus a 50 kHz hardware interrupt timer, for Apache and Flash
+// (Section 5.6). Paper: hardware timers cost 28%/36%; soft timers 2%/6%.
+func RunTable3(sc Scale) *Table3Result {
+	res := &Table3Result{}
+	for _, kind := range []httpserv.Kind{httpserv.Apache, httpserv.Flash} {
+		row := Table3Row{Server: kind.String()}
+		run := func(mode httpserv.TxMode) (float64, float64) {
+			tb := httpserv.NewTestbed(httpserv.TestbedConfig{
+				Seed:   sc.Seed,
+				Server: httpserv.Config{Kind: kind, TxMode: mode},
+			})
+			r := tb.Run(sc.Warmup, sc.Measure)
+			return r.Throughput, tb.Server.PacedIntervals.Mean()
+		}
+		row.Base, _ = run(httpserv.TxBurst)
+		row.HWThroughput, row.HWIntervalUS = run(httpserv.TxHWPaced)
+		row.SoftThroughput, row.SoftIntervalUS = run(httpserv.TxSoftPaced)
+		row.HWOverhead = 1 - row.HWThroughput/row.Base
+		row.SoftOverhead = 1 - row.SoftThroughput/row.Base
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Table renders Table 3.
+func (r *Table3Result) Table() *Table {
+	t := &Table{
+		Title: "Table 3 — overhead of rate-based clocking (hardware timer @20us vs soft timers)",
+		Columns: []string{"server", "base (conn/s)", "HW xput", "HW ovhd", "HW xmit intvl (us)",
+			"soft xput", "soft ovhd", "soft xmit intvl (us)"},
+		Notes: []string{
+			"paper Apache: base 774, HW 560 (28%, 31us), soft 756 (2%, 34us)",
+			"paper Flash:  base 1303, HW 827 (36%, 35us), soft 1224 (6%, 24us)",
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Server, f0(row.Base),
+			f0(row.HWThroughput), pct(row.HWOverhead), f1(row.HWIntervalUS),
+			f0(row.SoftThroughput), pct(row.SoftOverhead), f1(row.SoftIntervalUS),
+		})
+	}
+	return t
+}

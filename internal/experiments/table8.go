@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"softtimers/internal/httpserv"
+	"softtimers/internal/nic"
+	"softtimers/internal/sim"
+)
+
+// Table8Quotas are the aggregation quotas the paper sweeps.
+var Table8Quotas = []float64{1, 2, 5, 10, 15}
+
+// Table8Row is one (server, protocol) combination.
+type Table8Row struct {
+	Server    string
+	Protocol  string // "HTTP" or "P-HTTP"
+	Interrupt float64
+	ByQuota   map[float64]float64
+	SpeedupAt map[float64]float64 // throughput ratio vs interrupt mode
+}
+
+// Table8Result reproduces Table 8: network polling throughput.
+type Table8Result struct {
+	Rows []Table8Row
+}
+
+// RunTable8 compares interrupt-driven network processing against
+// soft-timer network polling at aggregation quotas 1–15, for Apache and
+// Flash under HTTP and persistent-HTTP load (Section 5.9). Paper:
+// improvements of 3–25%, larger for Flash.
+func RunTable8(sc Scale) *Table8Result {
+	res := &Table8Result{}
+	for _, kind := range []httpserv.Kind{httpserv.Apache, httpserv.Flash} {
+		for _, persistent := range []bool{false, true} {
+			proto := "HTTP"
+			if persistent {
+				proto = "P-HTTP"
+			}
+			row := Table8Row{
+				Server:    kind.String(),
+				Protocol:  proto,
+				ByQuota:   make(map[float64]float64),
+				SpeedupAt: make(map[float64]float64),
+			}
+			run := func(mode nic.Mode, quota float64) float64 {
+				tb := httpserv.NewTestbed(httpserv.TestbedConfig{
+					Seed: sc.Seed,
+					NIC: nic.Config{
+						Mode:             mode,
+						AggregationQuota: quota,
+						// Allow the adaptive interval room to reach the
+						// larger quotas at per-NIC packet rates (4 NICs
+						// split the load; the paper's higher absolute
+						// rates kept quota 15 under 1 ms naturally).
+						MaxPoll: 2 * sim.Millisecond,
+					},
+					Server: httpserv.Config{Kind: kind, Persistent: persistent},
+					// The paper's Table 8 server has four Fast Ethernet
+					// interfaces with one client machine on each, so the
+					// wire is never the bottleneck.
+					NICCount:    4,
+					Concurrency: 48,
+				})
+				return tb.Run(sc.Warmup, sc.Measure).Throughput
+			}
+			row.Interrupt = run(nic.Interrupt, 1)
+			for _, q := range Table8Quotas {
+				x := run(nic.SoftPoll, q)
+				row.ByQuota[q] = x
+				if row.Interrupt > 0 {
+					row.SpeedupAt[q] = x / row.Interrupt
+				}
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// Table renders Table 8.
+func (r *Table8Result) Table() *Table {
+	cols := []string{"server", "proto", "interrupt"}
+	for _, q := range Table8Quotas {
+		cols = append(cols, fmt.Sprintf("poll q=%g", q))
+	}
+	t := &Table{
+		Title:   "Table 8 — network polling throughput on 6KB HTTP requests (req/s, speedup)",
+		Columns: cols,
+		Notes: []string{
+			"paper: Apache HTTP 854 -> 915..945 (1.07-1.11x); Flash HTTP 1376 -> 1568..1719 (1.14-1.25x)",
+			"paper: Apache P-HTTP 1346 -> 1380..1440 (1.03-1.07x); Flash P-HTTP 4439 -> 4816..5498 (1.08-1.24x)",
+		},
+	}
+	for _, row := range r.Rows {
+		cells := []string{row.Server, row.Protocol, f0(row.Interrupt)}
+		for _, q := range Table8Quotas {
+			cells = append(cells, fmt.Sprintf("%.0f (%.2fx)", row.ByQuota[q], row.SpeedupAt[q]))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}

@@ -1,0 +1,153 @@
+package httpserv
+
+import "softtimers/internal/sim"
+
+// ReqStep is one step of a server's per-request processing script: either
+// a system call (trigger state at its end) or a stretch of user-mode
+// computation. Traps model sporadic page faults.
+type ReqStep struct {
+	Kind StepKind
+	Name string
+	Work sim.Time
+	// Prob makes the step probabilistic (0 or 1 occurrences per request);
+	// zero means always.
+	Prob float64
+}
+
+// StepKind classifies request-script steps.
+type StepKind int
+
+const (
+	// StepSyscall is a system call of Work service time.
+	StepSyscall StepKind = iota
+	// StepUser is user-mode computation.
+	StepUser
+	// StepTrap is a page-fault/exception of Work handling time.
+	StepTrap
+)
+
+func sys(name string, us float64) ReqStep {
+	return ReqStep{Kind: StepSyscall, Name: name, Work: sim.Micros(us)}
+}
+func user(us float64) ReqStep { return ReqStep{Kind: StepUser, Work: sim.Micros(us)} }
+func trap(us, prob float64) ReqStep {
+	return ReqStep{Kind: StepTrap, Name: "pagefault", Work: sim.Micros(us), Prob: prob}
+}
+
+// Script is a server's per-request cost profile, split around the response
+// transmission.
+type Script struct {
+	// ConnStart runs once per fresh TCP connection (skipped for requests
+	// after the first on a persistent connection).
+	ConnStart []ReqStep
+	// PreSend runs from request availability to the send syscall.
+	PreSend []ReqStep
+	// SendSyscall is the writev/sendfile call preceding the TCP output
+	// loop.
+	SendSyscall ReqStep
+	// PostSend runs after the response is handed to TCP (logging etc.).
+	PostSend []ReqStep
+	// ConnEnd runs when a connection closes (HTTP mode).
+	ConnEnd []ReqStep
+	// PollutionFactor for the server process(es); see kernel.Proc.
+	PollutionFactor float64
+}
+
+// ApacheScript models Apache-1.3.3: a multi-process server with many
+// syscalls and substantial user-mode work per request (the paper's ~774
+// requests/s at saturation on the P-II 300). Calibrated so that at
+// saturation the trigger-state mix approximates Table 2 and the mean
+// trigger interval approximates Table 1's ST-Apache row.
+func ApacheScript() Script {
+	return Script{
+		ConnStart: []ReqStep{
+			sys("accept", 12),
+			user(40), // per-connection setup (scoreboard, pools)
+			sys("getsockname", 5),
+			sys("fcntl", 3),
+			user(65),
+			sys("fcntl", 3),
+			sys("sigaction", 3),
+		},
+		PreSend: []ReqStep{
+			sys("read", 10),
+			user(25),
+			sys("gettimeofday", 3),
+			user(50),
+			trap(8, 0.8),
+			sys("stat", 9),
+			user(30),
+			sys("open", 11),
+			user(45),
+			sys("read", 14),
+			user(82),
+			sys("gettimeofday", 3),
+			user(65),
+			sys("sigprocmask", 3),
+			user(35),
+		},
+		SendSyscall: sys("writev", 16),
+		PostSend: []ReqStep{
+			user(55),
+			sys("write", 12), // access log
+			user(45),
+			sys("time", 3),
+			user(50),
+			sys("sigprocmask", 3),
+			user(125),
+			sys("select", 7),
+			user(70),
+		},
+		ConnEnd: []ReqStep{
+			user(30),
+			sys("shutdown", 6),
+			user(35),
+			sys("close", 10),
+			user(140), // MPM bookkeeping between connections
+		},
+		PollutionFactor: 1.0,
+	}
+}
+
+// FlashScript models the Flash event-driven server (Pai et al. 1999): a
+// single process, far less user work per request, fewer syscalls, no
+// per-request context switches, and — because its working set actually
+// fits in cache — a higher sensitivity to interrupt pollution
+// (Section 5.6's explanation for Flash's larger hardware-timer overhead).
+func FlashScript() Script {
+	return Script{
+		ConnStart: []ReqStep{
+			sys("accept", 10),
+			user(70), // connection object, PCB and cache setup
+			sys("fcntl", 3),
+			user(85),
+			sys("setsockopt", 4),
+			user(95),
+		},
+		PreSend: []ReqStep{
+			sys("kevent", 8),
+			user(13),
+			sys("read", 9),
+			user(16),
+			sys("gettimeofday", 3),
+			user(12),
+			trap(8, 0.15),
+			sys("open", 10), // usually a cache hit; modest cost
+			user(16),
+			sys("mmap", 6),
+			user(15),
+		},
+		SendSyscall: sys("writev", 14),
+		PostSend: []ReqStep{
+			{Kind: StepUser, Work: sim.Micros(260), Prob: 0.08}, // periodic cache/log maintenance
+			user(14),
+			sys("write", 8), // log buffer flush share
+			user(18),
+		},
+		ConnEnd: []ReqStep{
+			sys("close", 9),
+			user(120), // connection teardown and cache bookkeeping
+		},
+		PollutionFactor: 1.9,
+	}
+}

@@ -1,0 +1,86 @@
+package httpserv
+
+import (
+	"testing"
+
+	"softtimers/internal/nic"
+	"softtimers/internal/sim"
+)
+
+func TestMultiNICSpreadsFlows(t *testing.T) {
+	tb := NewTestbed(TestbedConfig{
+		Seed: 31, NICCount: 4, Concurrency: 16,
+		Server: Config{Kind: Flash, Persistent: true},
+	})
+	res := tb.Run(500*sim.Millisecond, sim.Second)
+	if res.Completed < 100 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if len(tb.NICs) != 4 {
+		t.Fatalf("NICs = %d", len(tb.NICs))
+	}
+	// Every interface must carry traffic in both directions.
+	var totalRx, totalTx int64
+	for i, n := range tb.NICs {
+		if n.RxPackets == 0 || n.TxPackets == 0 {
+			t.Errorf("nic %d idle: rx=%d tx=%d", i, n.RxPackets, n.TxPackets)
+		}
+		totalRx += n.RxPackets
+		totalTx += n.TxPackets
+	}
+	// With flows pinned round-robin and equal client groups, no NIC
+	// should dominate (allow 2x imbalance for flow-count rounding).
+	for i, n := range tb.NICs {
+		if n.TxPackets > totalTx/2 {
+			t.Errorf("nic %d carries %d of %d tx packets", i, n.TxPackets, totalTx)
+		}
+	}
+}
+
+func TestMultiNICLiftsWireBottleneck(t *testing.T) {
+	// Flash P-HTTP saturates a single 100 Mbps wire; four NICs must
+	// raise throughput substantially (this is why the paper's Table 8
+	// machine had four interfaces).
+	one := NewTestbed(TestbedConfig{
+		Seed: 32, NICCount: 1, Concurrency: 48,
+		Server: Config{Kind: Flash, Persistent: true},
+	}).Run(sim.Second, 2*sim.Second)
+	four := NewTestbed(TestbedConfig{
+		Seed: 32, NICCount: 4, Concurrency: 48,
+		Server: Config{Kind: Flash, Persistent: true},
+	}).Run(sim.Second, 2*sim.Second)
+	if four.Throughput < one.Throughput*1.3 {
+		t.Fatalf("4 NICs (%.0f req/s) should clearly beat 1 NIC (%.0f req/s, wire-bound)",
+			four.Throughput, one.Throughput)
+	}
+}
+
+func TestMultiNICPollingEachInterface(t *testing.T) {
+	tb := NewTestbed(TestbedConfig{
+		Seed: 33, NICCount: 2, Concurrency: 8,
+		NIC:    nic.Config{Mode: nic.SoftPoll},
+		Server: Config{Kind: Flash},
+	})
+	res := tb.Run(500*sim.Millisecond, sim.Second)
+	if res.Completed < 50 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	for i, n := range tb.NICs {
+		if n.Polls == 0 {
+			t.Errorf("nic %d never polled", i)
+		}
+		if n.RxInterrupts > n.Polls {
+			t.Errorf("nic %d: interrupts (%d) exceed polls (%d) in polling mode",
+				i, n.RxInterrupts, n.Polls)
+		}
+	}
+}
+
+func TestNewServerMultiValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero NICs")
+		}
+	}()
+	NewServerMulti(nil, nil, nil, Config{})
+}

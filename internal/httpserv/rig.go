@@ -1,0 +1,161 @@
+package httpserv
+
+import (
+	"fmt"
+
+	"softtimers/internal/core"
+	"softtimers/internal/cpu"
+	"softtimers/internal/kernel"
+	"softtimers/internal/netstack"
+	"softtimers/internal/nic"
+	"softtimers/internal/sim"
+)
+
+// Testbed assembles the paper's LAN experiment setup: a server machine
+// (simulated kernel + soft-timer facility + one or more NICs) and client
+// machines connected by switched 100 Mbps Ethernet, with a saturating
+// request load. Flows are pinned to NICs by id, one client group per
+// interface, as in the paper's four-NIC Table 8 machine.
+type Testbed struct {
+	Eng     *sim.Engine
+	K       *kernel.Kernel
+	F       *core.Facility
+	NIC     *nic.NIC // the first interface (convenience for 1-NIC rigs)
+	NICs    []*nic.NIC
+	Server  *Server
+	Clients *ClientGen
+
+	started bool
+}
+
+// TestbedConfig configures testbed assembly.
+type TestbedConfig struct {
+	Seed     uint64
+	Profile  cpu.Profile    // zero Name: PentiumII300
+	Kernel   kernel.Options // IdleLoop defaults true
+	Facility core.Options   // soft-timer facility options
+	NIC      nic.Config     // zero Costs: DefaultCosts
+	Server   Config
+	// Concurrency is the number of simultaneous client connections
+	// (default 32 — enough to saturate).
+	Concurrency int
+	// LinkBps and LinkDelay describe each LAN segment (defaults 100
+	// Mbps, 30 µs).
+	LinkBps   int64
+	LinkDelay sim.Time
+	// NICCount is the number of server network interfaces, each with its
+	// own duplex link (default 1; the paper's Table 8 machine had 4).
+	NICCount int
+}
+
+// NewTestbed wires everything together. Call Run to execute.
+func NewTestbed(cfg TestbedConfig) *Testbed {
+	if cfg.Profile.Name == "" {
+		cfg.Profile = cpu.PentiumII300()
+	}
+	if cfg.Concurrency == 0 {
+		cfg.Concurrency = 32
+	}
+	if cfg.LinkBps == 0 {
+		cfg.LinkBps = 100_000_000
+	}
+	if cfg.LinkDelay == 0 {
+		cfg.LinkDelay = 30 * sim.Microsecond
+	}
+	if cfg.NIC.Costs == (nic.Costs{}) {
+		cfg.NIC.Costs = nic.DefaultCosts()
+	}
+	kOpts := cfg.Kernel
+	if !kOpts.IdleLoop {
+		kOpts.IdleLoop = true
+	}
+
+	if cfg.NICCount == 0 {
+		cfg.NICCount = 1
+	}
+	tb := &Testbed{Eng: sim.NewEngine(cfg.Seed + 1)}
+	tb.K = kernel.New(tb.Eng, cfg.Profile, kOpts)
+	tb.F = core.New(tb.K, cfg.Facility)
+
+	// Client side and links: one duplex link pair per NIC; flows are
+	// pinned to interfaces by id, matching the server's routing. The
+	// generator is created lazily because the server→client links need
+	// the client endpoint and vice versa.
+	var clients *ClientGen
+	clientSide := netstack.EndpointFunc(func(p *netstack.Packet) { clients.Deliver(p) })
+	upLinks := make([]*netstack.Link, cfg.NICCount)
+	for i := 0; i < cfg.NICCount; i++ {
+		name := fmt.Sprintf("%d", i)
+		downLink := netstack.NewLink(tb.Eng, "down"+name, cfg.LinkBps, cfg.LinkDelay, clientSide)
+		nicCfg := cfg.NIC
+		nicCfg.Name = "nic" + name
+		n := nic.New(tb.K, tb.F, nicCfg, downLink)
+		tb.NICs = append(tb.NICs, n)
+		upLinks[i] = netstack.NewLink(tb.Eng, "up"+name, cfg.LinkBps, cfg.LinkDelay, n)
+	}
+	tb.NIC = tb.NICs[0]
+
+	tb.Server = NewServerMulti(tb.K, tb.F, tb.NICs, cfg.Server)
+	segs := tb.Server.segments()
+	toServer := netstack.EndpointFunc(func(p *netstack.Packet) {
+		flow := p.Flow
+		if flow < 0 {
+			flow = -flow
+		}
+		upLinks[flow%len(upLinks)].Send(p)
+	})
+	clients = NewClientGen(tb.Eng, toServer, cfg.Concurrency, segs, cfg.Server.Persistent)
+	tb.Clients = clients
+	return tb
+}
+
+// Result summarizes one testbed run.
+type Result struct {
+	// Throughput is completed responses per second over the measurement
+	// window (the paper's conn/s for HTTP, req/s for P-HTTP).
+	Throughput float64
+	// Completed is the raw response count in the window.
+	Completed int64
+	// BusyFrac is the server CPU's non-idle fraction over the window.
+	BusyFrac float64
+	// MeanTriggerUS is the mean trigger-state interval in µs over the
+	// whole run (warmup included; intervals are stationary).
+	MeanTriggerUS float64
+}
+
+// Start spins up the kernel, NIC, server and clients. Run calls it
+// automatically; call it directly when other machinery (e.g. an extra
+// hardware timer) must start before the measurement window.
+func (tb *Testbed) Start() {
+	if tb.started {
+		return
+	}
+	tb.started = true
+	tb.K.Start()
+	for _, n := range tb.NICs {
+		n.Start()
+	}
+	tb.Server.Start()
+	tb.Clients.Start()
+}
+
+// Run starts everything, runs warmup (discarded), then measures for the
+// given duration.
+func (tb *Testbed) Run(warmup, measure sim.Time) Result {
+	tb.Start()
+	tb.Eng.RunFor(warmup)
+	c0 := tb.Server.Completed
+	a0 := tb.K.Accounting()
+	t0 := tb.Eng.Now()
+	tb.Eng.RunFor(measure)
+	c1 := tb.Server.Completed
+	a1 := tb.K.Accounting()
+	elapsed := tb.Eng.Now() - t0
+	res := Result{
+		Completed:     c1 - c0,
+		Throughput:    float64(c1-c0) / elapsed.Seconds(),
+		BusyFrac:      float64(a1.Busy()-a0.Busy()) / float64(elapsed),
+		MeanTriggerUS: tb.K.Meter().Hist.Mean(),
+	}
+	return res
+}

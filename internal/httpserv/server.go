@@ -1,0 +1,453 @@
+// Package httpserv models the web servers of the paper's evaluation —
+// Apache-1.3.3 (multi-process) and Flash (event-driven) — serving a fixed
+// 6 KB file to saturating clients over a LAN, on top of the simulated
+// kernel and NIC. It drives the experiments behind Figures 2–3 and
+// Tables 1–3 and 8.
+//
+// The LAN request/response exchange is scripted at packet granularity
+// (SYN/SYNACK, request, data segments, FIN) rather than run through the
+// full TCP machinery in package tcp: FreeBSD's TCP does not slow-start on
+// a LAN, so every response goes out as one burst and the experiments
+// measure CPU cost, not window dynamics (see DESIGN.md). Response data can
+// be transmitted three ways, mirroring Section 5.6's comparison: the
+// normal in-syscall burst, rate-based clocking via soft timers (one packet
+// per trigger state), or rate-based clocking via a hardware interval
+// timer.
+package httpserv
+
+import (
+	"fmt"
+
+	"softtimers/internal/core"
+	"softtimers/internal/kernel"
+	"softtimers/internal/netstack"
+	"softtimers/internal/nic"
+	"softtimers/internal/sim"
+	"softtimers/internal/stats"
+)
+
+// Kind selects the server model.
+type Kind int
+
+const (
+	// Apache is the multi-process server.
+	Apache Kind = iota
+	// Flash is the single-process event-driven server.
+	Flash
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == Apache {
+		return "Apache"
+	}
+	return "Flash"
+}
+
+// TxMode selects how response data packets are transmitted.
+type TxMode int
+
+const (
+	// TxBurst is conventional: all segments leave in one TCP output loop
+	// inside the send syscall.
+	TxBurst TxMode = iota
+	// TxSoftPaced is rate-based clocking with soft timers: one segment
+	// per soft-timer event, the event firing at every trigger state
+	// (Section 5.6's soft-timer configuration).
+	TxSoftPaced
+	// TxHWPaced is rate-based clocking with a hardware interval timer:
+	// each timer interrupt dispatches a software-interrupt thread that
+	// transmits one pending segment.
+	TxHWPaced
+)
+
+// Config configures a Server.
+type Config struct {
+	Kind   Kind
+	Script Script // zero value: chosen by Kind
+	// Workers is the process count (Apache default 16, Flash always 1).
+	Workers int
+	// FileBytes is the response size (default 6144, the paper's 6 KB).
+	FileBytes int
+	// MSS and HeaderBytes shape packets (defaults 1448/52).
+	MSS, HeaderBytes int
+	// TxMode selects the transmission discipline for response data.
+	TxMode TxMode
+	// HWPacerPeriod is the hardware timer period in TxHWPaced mode
+	// (default 20 µs — the paper's 50 KHz).
+	HWPacerPeriod sim.Time
+	// PacedExtraWork is the additional per-packet cost of transmitting
+	// from a timer event rather than the in-syscall output loop (scattered
+	// code path, per-event bookkeeping).
+	PacedExtraWork sim.Time
+	// Persistent enables P-HTTP: connections carry many requests and
+	// connection setup/teardown is amortized away.
+	Persistent bool
+}
+
+func (c *Config) setDefaults() {
+	if c.Script.SendSyscall.Work == 0 {
+		if c.Kind == Apache {
+			c.Script = ApacheScript()
+		} else {
+			c.Script = FlashScript()
+		}
+	}
+	if c.Workers == 0 {
+		if c.Kind == Apache {
+			c.Workers = 16
+		} else {
+			c.Workers = 1
+		}
+	}
+	if c.Kind == Flash {
+		c.Workers = 1
+	}
+	if c.FileBytes == 0 {
+		c.FileBytes = 6144
+	}
+	if c.MSS == 0 {
+		c.MSS = 1448
+	}
+	if c.HeaderBytes == 0 {
+		c.HeaderBytes = 52
+	}
+	if c.HWPacerPeriod == 0 {
+		c.HWPacerPeriod = 20 * sim.Microsecond
+	}
+	if c.PacedExtraWork == 0 {
+		c.PacedExtraWork = sim.Micros(2.5)
+	}
+}
+
+// conn is the server-side connection state.
+type conn struct {
+	flow    int
+	fresh   bool // no request served yet on this connection
+	pending bool // a request is waiting for a worker
+}
+
+// Server is the simulated web server.
+type Server struct {
+	k    *kernel.Kernel
+	f    *core.Facility
+	nics []*nic.NIC
+	cfg  Config
+
+	conns    map[int]*conn
+	reqQ     []*conn
+	workerWQ kernel.WaitQueue
+
+	// Paced-transmission state.
+	txQ        []*netstack.Packet
+	softEvUp   bool
+	pit        *kernel.PIT
+	lastPaced  sim.Time
+	pacedCount int64
+	backlogged bool // the previous paced send left packets waiting
+	hwInFlight bool // a HW-paced transmission thread is still running
+
+	// Completed counts fully-transmitted responses.
+	Completed int64
+	// PacedIntervals records inter-transmission gaps in µs for the
+	// paced modes (Table 3's "Avg xmit intvl" row).
+	PacedIntervals *stats.Online
+
+	rng interface{ Float64() float64 }
+}
+
+// NewServer builds a server on kernel k using NIC n. The facility f is
+// required for TxSoftPaced mode.
+func NewServer(k *kernel.Kernel, f *core.Facility, n *nic.NIC, cfg Config) *Server {
+	return NewServerMulti(k, f, []*nic.NIC{n}, cfg)
+}
+
+// NewServerMulti builds a server with several network interfaces;
+// connections are distributed across them by flow id (the paper's Table 8
+// machine had four Fast Ethernet NICs, one client machine on each).
+func NewServerMulti(k *kernel.Kernel, f *core.Facility, nics []*nic.NIC, cfg Config) *Server {
+	cfg.setDefaults()
+	if cfg.TxMode == TxSoftPaced && f == nil {
+		panic("httpserv: TxSoftPaced requires a soft-timer facility")
+	}
+	if len(nics) == 0 {
+		panic("httpserv: server needs at least one NIC")
+	}
+	s := &Server{
+		k: k, f: f, nics: nics, cfg: cfg,
+		conns:          make(map[int]*conn),
+		PacedIntervals: &stats.Online{},
+		rng:            k.Engine().Rand().Fork(),
+	}
+	for _, n := range nics {
+		n.RxHandler = s.handleRx
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		name := fmt.Sprintf("%s-worker-%d", cfg.Kind, i)
+		w := k.Spawn(name, s.workerLoop)
+		w.PollutionFactor = cfg.Script.PollutionFactor
+	}
+	if cfg.TxMode == TxHWPaced {
+		s.pit = k.NewPIT(cfg.HWPacerPeriod, sim.Microsecond, s.hwPacerTick)
+	}
+	return s
+}
+
+// Start arms auxiliary machinery (the HW pacer timer). Call after
+// kernel.Start.
+func (s *Server) Start() {
+	if s.pit != nil {
+		s.pit.Start()
+	}
+}
+
+// Config returns the effective configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// nicFor returns the interface serving a connection (flows are pinned to
+// NICs by id, as the paper pinned one client machine per interface).
+func (s *Server) nicFor(flow int) *nic.NIC {
+	if flow < 0 {
+		flow = -flow
+	}
+	return s.nics[flow%len(s.nics)]
+}
+
+// segments returns the number of data segments in a response: the HTTP
+// header packet (Apache-1.3 sent response headers in their own segment)
+// plus the file body.
+func (s *Server) segments() int {
+	return 1 + (s.cfg.FileBytes+s.cfg.MSS-1)/s.cfg.MSS
+}
+
+// handleRx is the protocol-input handler, running in kernel rx context.
+func (s *Server) handleRx(p *netstack.Packet) {
+	switch p.Kind {
+	case netstack.Syn:
+		c := &conn{flow: p.Flow, fresh: true}
+		s.conns[p.Flow] = c
+		s.nicFor(p.Flow).TxFromKernel(&netstack.Packet{
+			Flow: p.Flow, Kind: netstack.SynAck, Size: s.cfg.HeaderBytes,
+		})
+	case netstack.Request:
+		c := s.conns[p.Flow]
+		if c == nil {
+			// Persistent connections may predate the server (warm
+			// start); adopt them.
+			c = &conn{flow: p.Flow, fresh: false}
+			s.conns[p.Flow] = c
+		}
+		if c.pending {
+			return
+		}
+		c.pending = true
+		s.reqQ = append(s.reqQ, c)
+		// ACK the request segment (TCP acks data carrying a push).
+		s.nicFor(p.Flow).TxFromKernel(&netstack.Packet{
+			Flow: p.Flow, Kind: netstack.Ack, Size: s.cfg.HeaderBytes,
+		})
+		s.workerWQ.WakeOne()
+	case netstack.Ack:
+		// Window bookkeeping only; cost charged in the rx path.
+	case netstack.Fin:
+		s.nicFor(p.Flow).TxFromKernel(&netstack.Packet{
+			Flow: p.Flow, Kind: netstack.Ack, Size: s.cfg.HeaderBytes,
+		})
+		delete(s.conns, p.Flow)
+	}
+}
+
+// workerLoop is the per-process server loop: take a pending request, run
+// the request script, transmit the response, close if HTTP.
+func (s *Server) workerLoop(p *kernel.Proc) {
+	var next func()
+	next = func() {
+		if len(s.reqQ) == 0 {
+			p.Sleep(&s.workerWQ, next)
+			return
+		}
+		c := s.reqQ[0]
+		s.reqQ = s.reqQ[1:]
+		c.pending = false
+		start := s.cfg.Script.PreSend
+		if c.fresh && !s.cfg.Persistent {
+			start = append(append([]ReqStep{}, s.cfg.Script.ConnStart...), start...)
+		}
+		c.fresh = false
+		s.runScript(p, start, func() {
+			s.sendResponse(p, c, func() {
+				s.runScript(p, s.cfg.Script.PostSend, func() {
+					if !s.cfg.Persistent {
+						s.runScript(p, s.cfg.Script.ConnEnd, next)
+						return
+					}
+					next()
+				})
+			})
+		})
+	}
+	next()
+}
+
+// runScript executes request-script steps in order, then cont.
+func (s *Server) runScript(p *kernel.Proc, steps []ReqStep, cont func()) {
+	if len(steps) == 0 {
+		cont()
+		return
+	}
+	st := steps[0]
+	rest := steps[1:]
+	next := func() { s.runScript(p, rest, cont) }
+	if st.Prob > 0 && s.rng.Float64() >= st.Prob {
+		next()
+		return
+	}
+	switch st.Kind {
+	case StepSyscall:
+		p.Syscall(st.Name, st.Work, next)
+	case StepTrap:
+		p.Trap(st.Name, st.Work, next)
+	default:
+		p.Compute(st.Work, next)
+	}
+}
+
+// responsePackets builds the data segments (the last carries the FIN for
+// non-persistent connections, as BSD piggybacks close on the final
+// segment; we keep FIN separate for packet accounting clarity).
+func (s *Server) responsePackets(c *conn) []*netstack.Packet {
+	nseg := s.segments()
+	pkts := make([]*netstack.Packet, 0, nseg+1)
+	pkts = append(pkts, &netstack.Packet{ // HTTP response headers
+		Flow: c.flow, Kind: netstack.Data, Seq: 0,
+		Size: 290 + s.cfg.HeaderBytes, Payload: 290,
+	})
+	remaining := s.cfg.FileBytes
+	for i := 1; i < nseg; i++ {
+		payload := s.cfg.MSS
+		if remaining < payload {
+			payload = remaining
+		}
+		remaining -= payload
+		pkts = append(pkts, &netstack.Packet{
+			Flow: c.flow, Kind: netstack.Data, Seq: int64(i),
+			Size: payload + s.cfg.HeaderBytes, Payload: payload,
+		})
+	}
+	if !s.cfg.Persistent {
+		pkts = append(pkts, &netstack.Packet{Flow: c.flow, Kind: netstack.Fin, Size: s.cfg.HeaderBytes})
+	}
+	return pkts
+}
+
+// sendResponse performs the send syscall and transmits the response data
+// according to the configured TxMode, then cont. The worker does not wait
+// for paced transmission (socket-buffer semantics): pacing hardware/soft
+// events drain the queue while the worker moves on.
+func (s *Server) sendResponse(p *kernel.Proc, c *conn, cont func()) {
+	sy := s.cfg.Script.SendSyscall
+	pkts := s.responsePackets(c)
+	last := pkts[len(pkts)-1]
+	p.Syscall(sy.Name, sy.Work, func() {
+		switch s.cfg.TxMode {
+		case TxBurst:
+			steps := s.nicFor(c.flow).TxSteps(pkts...)
+			// Completion is the final segment leaving ip-output.
+			prev := steps[len(steps)-1].Fn
+			steps[len(steps)-1].Fn = func() {
+				prev()
+				s.Completed++
+			}
+			p.Chain(steps, cont)
+		default:
+			s.enqueuePaced(pkts, last)
+			cont()
+		}
+	})
+}
+
+// enqueuePaced queues response packets for timer-driven transmission.
+func (s *Server) enqueuePaced(pkts []*netstack.Packet, last *netstack.Packet) {
+	last.Info = completionMark{}
+	s.txQ = append(s.txQ, pkts...)
+	if s.cfg.TxMode == TxSoftPaced {
+		s.armSoftPacer()
+	}
+}
+
+type completionMark struct{}
+
+// popPaced removes the head of the paced queue, recording the interval
+// since the previous send — but only when the packet was already waiting
+// then (a backlogged interval, the quantity Table 3 reports) — and
+// counting response completions.
+func (s *Server) popPaced() *netstack.Packet {
+	if len(s.txQ) == 0 {
+		s.backlogged = false
+		return nil
+	}
+	pkt := s.txQ[0]
+	s.txQ = s.txQ[1:]
+	now := s.k.Now()
+	if s.backlogged {
+		s.PacedIntervals.Add((now - s.lastPaced).Micros())
+	}
+	s.pacedCount++
+	s.lastPaced = now
+	// The next interval is back-to-back only if more packets wait now.
+	s.backlogged = len(s.txQ) > 0
+	if _, done := pkt.Info.(completionMark); done {
+		s.Completed++
+	}
+	return pkt
+}
+
+// sendPacedOne transmits the head of the paced queue. Returns the CPU cost
+// of the transmission.
+func (s *Server) sendPacedOne() sim.Time {
+	pkt := s.popPaced()
+	if pkt == nil {
+		return 0
+	}
+	return s.nicFor(pkt.Flow).TransmitNow(pkt) + s.cfg.PacedExtraWork
+}
+
+// armSoftPacer schedules the always-due soft event that transmits one
+// packet per trigger state while the queue is non-empty.
+func (s *Server) armSoftPacer() {
+	if s.softEvUp || len(s.txQ) == 0 {
+		return
+	}
+	s.softEvUp = true
+	s.f.ScheduleSoftEvent(0, func(now sim.Time) sim.Time {
+		s.softEvUp = false
+		cost := s.sendPacedOne()
+		s.armSoftPacer()
+		return cost
+	})
+}
+
+// hwPacerTick is the hardware timer handler for TxHWPaced: dispatch a
+// software-interrupt thread that transmits one pending packet. Ticks that
+// arrive while the previous transmission's thread is still in flight are
+// lost, reproducing the paper's observation that hardware-timer pacing
+// falls short of its programmed rate ("some timer interrupts are lost
+// during periods when interrupts are disabled in FreeBSD").
+func (s *Server) hwPacerTick() {
+	if len(s.txQ) == 0 || s.hwInFlight {
+		return
+	}
+	s.hwInFlight = true
+	s.k.PostSoftIRQ(kernel.ChainStep{
+		Work: s.nics[0].Cfg().Costs.TxWork + s.cfg.PacedExtraWork,
+		Src:  kernel.SrcIPOutput,
+		Fn: func() {
+			// Cost is charged by this chain step; transmit without
+			// re-charging.
+			s.hwInFlight = false
+			if pkt := s.popPaced(); pkt != nil {
+				s.nicFor(pkt.Flow).TransmitRaw(pkt)
+			}
+		},
+	})
+}

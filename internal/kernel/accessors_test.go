@@ -1,0 +1,142 @@
+package kernel
+
+import (
+	"testing"
+
+	"softtimers/internal/cpu"
+	"softtimers/internal/sim"
+)
+
+func TestKernelAccessors(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := New(eng, cpu.PentiumII300(), Options{Hz: 500})
+	if k.Engine() != eng {
+		t.Error("Engine() mismatch")
+	}
+	if k.Profile().Name != "PentiumII-300" {
+		t.Error("Profile() mismatch")
+	}
+	if k.Hz() != 500 {
+		t.Errorf("Hz() = %d", k.Hz())
+	}
+	if k.TickPeriod() != 2*sim.Millisecond {
+		t.Errorf("TickPeriod() = %v", k.TickPeriod())
+	}
+	k.Start()
+	// Run slightly past the 10ms boundary: the tick interrupt raised at
+	// exactly 10ms takes a few µs of handler time to count.
+	eng.RunFor(10*sim.Millisecond + 100*sim.Microsecond)
+	if k.Now() != eng.Now() {
+		t.Error("Now() mismatch")
+	}
+	if k.Tick() != 5 {
+		t.Errorf("Tick() = %d past 10ms with Hz=500, want 5", k.Tick())
+	}
+	if k.Idle() != true {
+		t.Error("Idle() should be true with no work (halted idle)")
+	}
+}
+
+func TestPostSoftIRQEmptyIsNoop(t *testing.T) {
+	eng := sim.NewEngine(2)
+	k := New(eng, cpu.PentiumII300(), Options{IdleLoop: false})
+	k.Start()
+	k.PostSoftIRQ() // no steps: nothing should happen
+	eng.RunFor(sim.Millisecond)
+	if k.Accounting().SoftIRQ != 0 {
+		t.Fatal("empty PostSoftIRQ consumed time")
+	}
+}
+
+func TestPostSoftIRQBuilderNilPanics(t *testing.T) {
+	eng := sim.NewEngine(3)
+	k := New(eng, cpu.PentiumII300(), Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	k.PostSoftIRQBuilder(nil)
+}
+
+func TestPostSoftIRQBuilderBatches(t *testing.T) {
+	eng := sim.NewEngine(4)
+	k := New(eng, cpu.PentiumII300(), Options{IdleLoop: false})
+	k.Start()
+	var batch []int
+	pending := []int{1}
+	// Raise an interrupt whose handler posts the builder softirq and
+	// appends more work before the softirq runs (queued behind a second
+	// interrupt): the builder must see everything.
+	eng.At(10*sim.Microsecond, func() {
+		k.RaiseInterrupt(SrcIPIntr, 5*sim.Microsecond, func() {
+			k.PostSoftIRQBuilder(func() []ChainStep {
+				got := append([]int(nil), pending...)
+				pending = nil
+				return []ChainStep{{Work: sim.Microsecond, Src: SrcNone, Fn: func() {
+					batch = got
+				}}}
+			})
+			// A second interrupt queued while the first runs adds work
+			// before the softirq executes.
+			k.RaiseInterrupt(SrcIPIntr, 5*sim.Microsecond, func() {
+				pending = append(pending, 2)
+			})
+		})
+	})
+	eng.RunFor(sim.Millisecond)
+	if len(batch) != 2 {
+		t.Fatalf("builder saw batch %v, want both items", batch)
+	}
+}
+
+func TestPITAccessors(t *testing.T) {
+	eng := sim.NewEngine(5)
+	k := New(eng, cpu.PentiumII300(), Options{})
+	pit := k.NewPIT(100*sim.Microsecond, 0, nil)
+	if pit.Period() != 100*sim.Microsecond {
+		t.Errorf("Period() = %v", pit.Period())
+	}
+	if pit.Running() {
+		t.Error("Running() before Start")
+	}
+	pit.Start()
+	pit.Start() // idempotent
+	if !pit.Running() {
+		t.Error("Running() after Start")
+	}
+	pit.Stop()
+	if pit.Running() {
+		t.Error("Running() after Stop")
+	}
+}
+
+func TestPITValidation(t *testing.T) {
+	eng := sim.NewEngine(6)
+	k := New(eng, cpu.PentiumII300(), Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero period")
+		}
+	}()
+	k.NewPIT(0, 0, nil)
+}
+
+func TestMeterTraceCallback(t *testing.T) {
+	eng := sim.NewEngine(7)
+	k := New(eng, cpu.PentiumII300(), Options{IdleLoop: false})
+	var srcs []Source
+	k.Meter().Trace = func(_ sim.Time, _ sim.Time, src Source) { srcs = append(srcs, src) }
+	k.Spawn("w", func(p *Proc) {
+		p.Syscall("a", sim.Microsecond, func() {
+			p.Syscall("b", sim.Microsecond, func() { p.Exit() })
+		})
+	})
+	k.Start()
+	eng.RunFor(sim.Millisecond)
+	// The first trigger starts the interval clock; the trace sees the
+	// second onward.
+	if len(srcs) < 1 || srcs[0] != SrcSyscall {
+		t.Fatalf("trace srcs = %v", srcs)
+	}
+}

@@ -1,0 +1,87 @@
+package kernel
+
+import (
+	"softtimers/internal/sim"
+
+	"softtimers/internal/timerwheel"
+)
+
+// Callout is a conventional kernel timeout, scheduled at hardclock-tick
+// granularity (the paper's "conventional timer facility": events fire from
+// the periodic clock interrupt, so resolution is 1/Hz). TCP's delayed-ACK
+// and retransmit timers run on callouts.
+type Callout struct {
+	t    *timerwheel.Timer
+	fn   func()
+	work sim.Time
+}
+
+// Cancel stops the callout; reports whether it was still pending.
+func (c *Callout) Cancel() bool { return c.t.Cancel() }
+
+// Pending reports whether the callout has yet to fire.
+func (c *Callout) Pending() bool { return c.t.Pending() }
+
+type calloutWheel struct {
+	wheel *timerwheel.Wheel
+}
+
+func newCalloutWheel() *calloutWheel {
+	return &calloutWheel{wheel: timerwheel.New(256)}
+}
+
+// Timeout schedules fn to run no earlier than d from now, rounded up to the
+// next hardclock tick — conventional-timer semantics. work is the CPU time
+// the handler consumes; it executes as a software interrupt from the clock
+// tick (BSD softclock), and its completion is a TCP/IP-other trigger state.
+func (k *Kernel) Timeout(d sim.Time, work sim.Time, fn func()) *Callout {
+	period := sim.Second / sim.Time(k.opts.Hz)
+	ticks := int64((d + period - 1) / period)
+	if ticks < 1 {
+		ticks = 1
+	}
+	c := &Callout{fn: fn, work: work}
+	c.t = k.callouts.wheel.Schedule(uint64(k.tick+ticks), func(timerwheel.Tick) {
+		k.PostSoftIRQ(ChainStep{Work: c.work, Src: SrcTCPIPOther, Fn: c.fn})
+	})
+	return c
+}
+
+// TickPeriod returns the hardclock period (1/Hz).
+func (k *Kernel) TickPeriod() sim.Time { return sim.Second / sim.Time(k.opts.Hz) }
+
+// scheduleHardclock starts the fixed-phase periodic clock interrupt. Each
+// tick does timekeeping work, expires callouts, and enforces the scheduler
+// quantum; its end-of-handler trigger state is the soft-timer backup that
+// bounds event delay at one tick.
+func (k *Kernel) scheduleHardclock() {
+	period := k.TickPeriod()
+	var tick func()
+	n := int64(0)
+	tick = func() {
+		n++
+		k.eng.AtLabeled(sim.Time(n+1)*period, "hardclock", tick)
+		k.RaiseInterrupt(SrcHardClock, k.opts.HardclockWork, func() {
+			k.tick++
+			// Reschedule at the next user-mode boundary when the
+			// quantum expired, or when a ready process outranks the
+			// running one (BSD recomputes priorities at clock ticks).
+			if k.running != nil && len(k.runq) > 0 {
+				if k.eng.Now()-k.running.quantumStart >= k.opts.Quantum {
+					k.reschedule = true
+				}
+				for _, p := range k.runq {
+					if p.Priority > k.running.Priority {
+						k.reschedule = true
+						break
+					}
+				}
+			}
+			k.callouts.wheel.Advance(uint64(k.tick))
+		})
+	}
+	k.eng.AtLabeled(k.eng.Now()+period, "hardclock", tick)
+}
+
+// Tick returns the number of hardclock ticks taken so far.
+func (k *Kernel) Tick() int64 { return k.tick }

@@ -1,0 +1,527 @@
+package kernel
+
+import (
+	"fmt"
+
+	"softtimers/internal/sim"
+	"softtimers/internal/trace"
+)
+
+// segKind classifies a CPU work segment.
+type segKind int
+
+const (
+	segUser segKind = iota
+	segSyscall
+	segTrap
+)
+
+// segment is a contiguous stretch of process work (user computation or a
+// syscall/trap service). Interrupts preempt segments; the preempted segment
+// resumes afterwards with the profile's pollution penalty added to its
+// remaining work — the locality-shift cost the paper measures.
+type segment struct {
+	p         *Proc
+	kind      segKind
+	name      string
+	remaining sim.Time
+	startAt   sim.Time
+	doneEv    *sim.Event
+	then      func()
+}
+
+// acctClass says which Accounting bucket a chain's work belongs to.
+type acctClass int
+
+const (
+	acctKernel acctClass = iota
+	acctSoftIRQ
+	acctIntr
+)
+
+// ChainStep is one step of a kernel work chain: Work of CPU time, then Fn's
+// side effects, then (if Src >= 0) a trigger state. The TCP/IP output loop
+// is a chain with one SrcIPOutput step per transmitted packet.
+type ChainStep struct {
+	Work sim.Time
+	Src  Source // use SrcNone for no trigger state
+	Fn   func()
+}
+
+// SrcNone marks a chain step that is not a trigger state.
+const SrcNone Source = -1
+
+// intrReq is a pending hardware interrupt.
+type intrReq struct {
+	src  Source
+	work sim.Time
+	fn   func()
+}
+
+// softReq is a pending software interrupt: either a fixed chain of steps or
+// a builder invoked at run time (so work that accumulates between posting
+// and execution — e.g. packets queued by further interrupts — is all
+// processed in one batch).
+type softReq struct {
+	steps []ChainStep
+	build func() []ChainStep
+}
+
+// isIdle reports whether the CPU is in the idle state.
+func (k *Kernel) isIdle() bool { return k.idle }
+
+// RaiseInterrupt delivers a hardware interrupt: fixed entry cost, work of
+// handler time, then fn's side effects, then an end-of-handler trigger
+// state. If the CPU is already in interrupt context the request queues
+// (interrupts disabled) and is serviced afterwards.
+func (k *Kernel) RaiseInterrupt(src Source, work sim.Time, fn func()) {
+	k.pendIntr = append(k.pendIntr, intrReq{src: src, work: work, fn: fn})
+	k.kick()
+}
+
+// PostSoftIRQ queues a software interrupt that executes the given chain of
+// steps (protocol processing). Software interrupts run after pending
+// hardware interrupts and before any process resumes.
+func (k *Kernel) PostSoftIRQ(steps ...ChainStep) {
+	if len(steps) == 0 {
+		return
+	}
+	k.pendSoft = append(k.pendSoft, softReq{steps: steps})
+	k.kick()
+}
+
+// PostSoftIRQBuilder queues a software interrupt whose chain is built when
+// it runs, batching everything that accumulated since posting.
+func (k *Kernel) PostSoftIRQBuilder(build func() []ChainStep) {
+	if build == nil {
+		panic("kernel: nil softirq builder")
+	}
+	k.pendSoft = append(k.pendSoft, softReq{build: build})
+	k.kick()
+}
+
+// Idle reports whether the CPU is currently in the idle loop (or halted
+// idle). Soft-timer network polling uses this to re-enable interrupts when
+// the system has nothing to do.
+func (k *Kernel) Idle() bool { return k.idle }
+
+// kick reacts to newly queued interrupt-context work: preempt the current
+// segment or leave the idle loop. If the CPU is already in interrupt
+// context, the queue drains when the current handler finishes.
+func (k *Kernel) kick() {
+	if k.inIntr {
+		return
+	}
+	if k.seg != nil {
+		k.preemptSeg()
+		k.serviceIntr()
+		return
+	}
+	if k.idle {
+		k.stopIdle()
+		k.serviceIntr()
+		return
+	}
+	// The CPU is mid-transition inside the current engine event (e.g. a
+	// continuation running right now); the transition's endpoint
+	// (startSegment, dispatch) will notice the pending work.
+}
+
+// preemptSeg pauses the running segment: account its progress and cancel
+// its completion. Pollution is charged when it resumes.
+func (k *Kernel) preemptSeg() {
+	s := k.seg
+	if s == nil {
+		panic("kernel: preempt with no segment")
+	}
+	elapsed := k.eng.Now() - s.startAt
+	k.accountSeg(s, elapsed)
+	s.remaining -= elapsed
+	if s.remaining < 0 {
+		s.remaining = 0
+	}
+	s.doneEv.Cancel()
+	s.doneEv = nil
+	k.seg = nil
+	if k.paused != nil {
+		panic("kernel: double preemption")
+	}
+	k.paused = s
+}
+
+func (k *Kernel) accountSeg(s *segment, d sim.Time) {
+	switch s.kind {
+	case segUser:
+		k.acct.User += d
+	default:
+		k.acct.Kernel += d
+	}
+}
+
+// serviceIntr runs the next piece of interrupt-context work, or resumes the
+// preempted segment / dispatches when none remains.
+func (k *Kernel) serviceIntr() {
+	if k.inIntr {
+		panic("kernel: serviceIntr while in interrupt context")
+	}
+	if len(k.pendIntr) > 0 {
+		req := k.pendIntr[0]
+		k.pendIntr = k.pendIntr[1:]
+		k.runIntr(req)
+		return
+	}
+	if len(k.pendSoft) > 0 {
+		req := k.pendSoft[0]
+		k.pendSoft = k.pendSoft[1:]
+		k.runSoft(req)
+		return
+	}
+	if k.paused != nil {
+		k.resumePaused()
+		return
+	}
+	k.dispatch()
+}
+
+// runIntr executes one hardware interrupt: entry cost + handler work, side
+// effects at the end, then the end-of-handler trigger state.
+func (k *Kernel) runIntr(req intrReq) {
+	k.inIntr = true
+	k.acct.Interrupts++
+	k.tr(trace.Intr, req.src.String(), 0)
+	dur := k.prof.IntrDirect + k.prof.Work(req.work)
+	k.acct.Intr += dur
+	k.eng.AfterLabeled(dur, "intr:"+req.src.String(), func() {
+		if req.fn != nil {
+			req.fn() // side effects while interrupts still disabled
+		}
+		k.inIntr = false
+		k.trigger(req.src, func() {
+			if k.paused != nil {
+				// Locality penalty inflicted on the interrupted work.
+				k.paused.remaining += k.paused.p.pollute(k.prof.IntrPollution)
+			}
+			k.serviceIntr()
+		})
+	})
+}
+
+// runSoft executes one software interrupt: entry cost, then its chain.
+func (k *Kernel) runSoft(req softReq) {
+	k.inIntr = true
+	k.tr(trace.SoftIRQ, "softirq", int64(len(req.steps)))
+	k.acct.SoftIRQ += k.sirqDirect
+	k.eng.After(k.sirqDirect, func() {
+		steps := req.steps
+		if req.build != nil {
+			steps = req.build()
+		}
+		k.chainStep(steps, 0, acctSoftIRQ, func() {
+			k.inIntr = false
+			if k.paused != nil {
+				k.paused.remaining += k.paused.p.pollute(k.sirqPollution)
+			}
+			k.serviceIntr()
+		})
+	})
+}
+
+// chainStep executes steps[i:] back to back in the current (interrupt-like)
+// context, then done. inIntr must be true on entry and stays true
+// throughout; triggers between steps extend the occupancy by any soft-timer
+// handler time.
+func (k *Kernel) chainStep(steps []ChainStep, i int, class acctClass, done func()) {
+	if i >= len(steps) {
+		done()
+		return
+	}
+	st := steps[i]
+	w := k.prof.Work(st.Work)
+	switch class {
+	case acctSoftIRQ:
+		k.acct.SoftIRQ += w
+	case acctIntr:
+		k.acct.Intr += w
+	default:
+		k.acct.Kernel += w
+	}
+	k.eng.After(w, func() {
+		if st.Fn != nil {
+			st.Fn()
+		}
+		if st.Src >= 0 {
+			k.triggerInCtx(st.Src, func() { k.chainStep(steps, i+1, class, done) })
+			return
+		}
+		k.chainStep(steps, i+1, class, done)
+	})
+}
+
+// triggerInCtx reports a trigger state from within occupied CPU context:
+// soft-timer handler time simply extends the occupancy.
+func (k *Kernel) triggerInCtx(src Source, cont func()) {
+	if !k.opts.DisabledSources[src] {
+		k.tr(trace.TriggerState, src.String(), 0)
+		k.meter.record(k.eng.Now(), src)
+		if k.sink != nil {
+			if consumed := k.sink.Trigger(src, k.eng.Now()); consumed > 0 {
+				k.acct.SoftTimer += consumed
+				k.eng.After(consumed, cont)
+				return
+			}
+		}
+	}
+	cont()
+}
+
+// startSegment begins (or resumes) a segment, unless interrupt-context work
+// is pending — that runs first, with the segment paused.
+func (k *Kernel) startSegment(s *segment) {
+	if k.inIntr {
+		panic("kernel: startSegment in interrupt context")
+	}
+	if k.seg != nil {
+		panic("kernel: startSegment with a segment already running")
+	}
+	if len(k.pendIntr) > 0 || len(k.pendSoft) > 0 {
+		if k.paused != nil {
+			panic("kernel: startSegment with another segment paused")
+		}
+		k.paused = s
+		k.serviceIntr()
+		return
+	}
+	// Quantum enforcement happens at user-segment boundaries, i.e. when
+	// (re)starting user work — the model's analogue of "on return to
+	// user mode".
+	if k.reschedule && s.kind == segUser && len(k.runq) > 0 {
+		k.reschedule = false
+		p := s.p
+		p.pending = s
+		p.state = Ready
+		p.readySince = k.eng.Now()
+		k.runq = append(k.runq, p)
+		k.running = nil
+		k.switchNext()
+		return
+	}
+	k.seg = s
+	s.startAt = k.eng.Now()
+	s.doneEv = k.eng.AtLabeled(k.eng.Now()+s.remaining, "seg:"+s.name, func() { k.finishSegment(s) })
+}
+
+// finishSegment completes a segment: account it, fire the trigger state for
+// kernel-mode segments, and continue the process.
+func (k *Kernel) finishSegment(s *segment) {
+	k.accountSeg(s, k.eng.Now()-s.startAt)
+	k.seg = nil
+	p := s.p
+	switch s.kind {
+	case segSyscall:
+		k.acct.Syscalls++
+		k.trigger(SrcSyscall, func() { k.continueProc(p, s.then) })
+	case segTrap:
+		k.acct.Traps++
+		k.trigger(SrcTrap, func() { k.continueProc(p, s.then) })
+	default:
+		k.continueProc(p, s.then)
+	}
+}
+
+// continueProc runs a process continuation; if it performs no further
+// operation the process exits.
+func (k *Kernel) continueProc(p *Proc, then func()) {
+	if k.running != p {
+		panic(fmt.Sprintf("kernel: continueProc for %q but running is not it", p.Name))
+	}
+	p.acted = false
+	if then != nil {
+		then()
+	}
+	if !p.acted && p.state == Running {
+		k.exitProc(p)
+	}
+}
+
+func (k *Kernel) exitProc(p *Proc) {
+	p.acted = true
+	p.state = Exited
+	if k.running == p {
+		k.running = nil
+		k.dispatch()
+	}
+}
+
+// resumePaused restarts the segment that interrupt context preempted.
+func (k *Kernel) resumePaused() {
+	s := k.paused
+	k.paused = nil
+	k.startSegment(s)
+}
+
+// dispatch gives the CPU to the highest-priority ready work: interrupt
+// context, a preempted segment, a ready process, or the idle loop.
+func (k *Kernel) dispatch() {
+	if k.inIntr || k.seg != nil {
+		return // busy; completion will dispatch again
+	}
+	if len(k.pendIntr) > 0 || len(k.pendSoft) > 0 {
+		k.serviceIntr()
+		return
+	}
+	if k.paused != nil {
+		k.resumePaused()
+		return
+	}
+	if k.running != nil {
+		return // a continuation is in flight for the running process
+	}
+	if len(k.runq) > 0 {
+		k.switchNext()
+		return
+	}
+	k.goIdle()
+}
+
+// switchNext context-switches to the best ready process: highest effective
+// priority, FIFO within a level. Effective priority rises with time spent
+// waiting (one level per StarveBoost), so low-priority compute processes
+// still receive occasional timeslices on a saturated system.
+func (k *Kernel) switchNext() {
+	now := k.eng.Now()
+	eff := func(p *Proc) int {
+		e := p.Priority
+		if k.opts.StarveBoost > 0 {
+			e += int((now - p.readySince) / k.opts.StarveBoost)
+		}
+		return e
+	}
+	best := 0
+	for i := 1; i < len(k.runq); i++ {
+		if eff(k.runq[i]) > eff(k.runq[best]) {
+			best = i
+		}
+	}
+	p := k.runq[best]
+	k.runq = append(k.runq[:best], k.runq[best+1:]...)
+	if p.state != Ready {
+		panic(fmt.Sprintf("kernel: runq proc %q in state %d", p.Name, p.state))
+	}
+	p.state = Running
+	k.running = p
+	k.tr(trace.Sched, p.Name, int64(p.ID))
+	p.quantumStart = k.eng.Now()
+	// Switching between two processes pays the switch cost; the very
+	// first dispatch after boot has no prior context to save.
+	switched := k.lastRun != nil && p != k.lastRun
+	k.lastRun = p
+	resume := func() {
+		if p.pending != nil {
+			s := p.pending
+			p.pending = nil
+			if switched {
+				s.remaining += p.pollute(k.prof.CtxPollution)
+			}
+			k.startSegment(s)
+			return
+		}
+		if p.resume != nil {
+			r := p.resume
+			p.resume = nil
+			if switched {
+				p.polluteNext = true
+			}
+			k.continueProc(p, r)
+			return
+		}
+		k.exitProc(p)
+	}
+	if switched {
+		k.acct.Switches++
+		k.acct.CtxSwitch += k.prof.CtxSwitch
+		k.inIntr = true // switch code is non-preemptible
+		k.eng.After(k.prof.CtxSwitch, func() {
+			k.inIntr = false
+			resume()
+		})
+		return
+	}
+	resume()
+}
+
+// goIdle parks the CPU. With the idle loop enabled, each iteration is a
+// trigger state at IdlePoll granularity; otherwise — or when IdleHalt is
+// set and no soft-timer event is due before the next hardclock tick — the
+// CPU halts until the next interrupt.
+func (k *Kernel) goIdle() {
+	if k.idle {
+		return
+	}
+	k.idle = true
+	k.idleSince = k.eng.Now()
+	k.tr(trace.IdleEnter, "idle", 0)
+	if !k.opts.IdleLoop {
+		return
+	}
+	if k.opts.IdleHalt {
+		if adv, ok := k.sink.(IdleAdvisor); ok {
+			nextTick := sim.Time(k.tick+1) * k.TickPeriod()
+			if !adv.EventBefore(nextTick) {
+				k.acct.IdleHalts++
+				return // halt: the hardclock's own trigger state backstops
+			}
+		}
+	}
+	k.idleEv = k.eng.AfterLabeled(k.prof.IdlePoll, "idle", k.idleTick)
+}
+
+func (k *Kernel) idleTick() {
+	// Account the idle stretch, leave idle for the duration of the
+	// trigger (soft handlers may run), then either dispatch real work or
+	// resume idling.
+	k.stopIdle()
+	k.trigger(SrcIdle, func() {
+		if len(k.pendIntr) > 0 || len(k.pendSoft) > 0 {
+			k.serviceIntr()
+			return
+		}
+		if len(k.runq) > 0 {
+			k.dispatch()
+			return
+		}
+		k.goIdle()
+	})
+}
+
+// NudgeIdle re-evaluates a halted idle CPU's decision not to poll. The
+// soft-timer facility calls it when a new event is scheduled: if the event
+// is now due before the next hardclock tick, the idle loop resumes
+// polling. (On real hardware the halt re-evaluation happens on the way
+// back to idle after whatever context scheduled the event.)
+func (k *Kernel) NudgeIdle() {
+	if !k.idle || k.idleEv != nil || !k.opts.IdleLoop {
+		return
+	}
+	adv, ok := k.sink.(IdleAdvisor)
+	if k.opts.IdleHalt && ok {
+		nextTick := sim.Time(k.tick+1) * k.TickPeriod()
+		if !adv.EventBefore(nextTick) {
+			return // stay halted
+		}
+	}
+	k.idleEv = k.eng.AfterLabeled(k.prof.IdlePoll, "idle", k.idleTick)
+}
+
+// stopIdle leaves the idle state, accumulating idle time.
+func (k *Kernel) stopIdle() {
+	if !k.idle {
+		return
+	}
+	k.acct.Idle += k.eng.Now() - k.idleSince
+	k.idle = false
+	k.tr(trace.IdleExit, "idle", 0)
+	if k.idleEv != nil {
+		k.idleEv.Cancel()
+		k.idleEv = nil
+	}
+}

@@ -1,0 +1,214 @@
+// Package netstack models the network between hosts: packets, links with
+// bandwidth and propagation delay, FIFO queues, and a store-and-forward
+// router used as the paper's laboratory "WAN emulator" — an intermediate
+// machine that delays each forwarded packet so as to emulate a WAN with a
+// given delay and bottleneck bandwidth (Section 5.8).
+//
+// Everything is event-driven on a sim.Engine; there are no real sockets.
+package netstack
+
+import (
+	"softtimers/internal/sim"
+)
+
+// Kind classifies packets for the protocol layers above.
+type Kind int
+
+const (
+	// Data carries payload segments.
+	Data Kind = iota
+	// Ack is a pure acknowledgment.
+	Ack
+	// Syn, SynAck and Fin mark connection control packets.
+	Syn
+	SynAck
+	Fin
+	// Request is an application request (e.g. an HTTP GET).
+	Request
+)
+
+var kindNames = [...]string{"data", "ack", "syn", "synack", "fin", "request"}
+
+// String names the kind.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return "unknown"
+	}
+	return kindNames[k]
+}
+
+// Packet is a network packet. Sequence numbers are in whole segments, the
+// unit the paper's tables use (packets of 1448 payload bytes).
+type Packet struct {
+	Flow    int // connection identifier
+	Kind    Kind
+	Seq     int64 // segment index for Data; meaningless otherwise
+	AckSeq  int64 // cumulative segments acknowledged, for Ack
+	Size    int   // wire size in bytes (payload + headers)
+	Payload int   // payload bytes
+	SentAt  sim.Time
+	Info    any // protocol-private data
+}
+
+// Endpoint receives packets: a host's input path or the next hop.
+type Endpoint interface {
+	Deliver(p *Packet)
+}
+
+// EndpointFunc adapts a function to the Endpoint interface.
+type EndpointFunc func(p *Packet)
+
+// Deliver implements Endpoint.
+func (f EndpointFunc) Deliver(p *Packet) { f(p) }
+
+// Link is a one-way link with finite bandwidth and fixed propagation delay,
+// feeding an Endpoint (the receiving host or the next link in a path). A
+// packet that arrives while earlier packets are still serializing queues
+// behind them (store-and-forward); an optional queue limit drops the tail.
+type Link struct {
+	Name string
+
+	eng   *sim.Engine
+	bps   int64
+	delay sim.Time
+	dst   Endpoint
+
+	// MaxQueue bounds the number of packets queued for serialization
+	// (0 = unbounded, the default — the paper's WAN runs are loss-free).
+	MaxQueue int
+
+	busyUntil sim.Time
+	queued    int
+
+	// Counters.
+	Sent    int64
+	Dropped int64
+	Bytes   int64
+	// MaxQueued tracks the high-water mark of the serialization queue.
+	MaxQueued int
+}
+
+// NewLink creates a link of bps bits/second and the given one-way
+// propagation delay, delivering into dst.
+func NewLink(eng *sim.Engine, name string, bps int64, delay sim.Time, dst Endpoint) *Link {
+	if bps <= 0 {
+		panic("netstack: link bandwidth must be positive")
+	}
+	if dst == nil {
+		panic("netstack: link needs a destination")
+	}
+	return &Link{Name: name, eng: eng, bps: bps, delay: delay, dst: dst}
+}
+
+// Bandwidth returns the link rate in bits per second.
+func (l *Link) Bandwidth() int64 { return l.bps }
+
+// Delay returns the one-way propagation delay.
+func (l *Link) Delay() sim.Time { return l.delay }
+
+// TxTime returns the serialization time of a packet of n bytes.
+func (l *Link) TxTime(n int) sim.Time {
+	return sim.Time(int64(n) * 8 * int64(sim.Second) / l.bps)
+}
+
+// QueueLen returns the number of packets currently queued or serializing.
+func (l *Link) QueueLen() int { return l.queued }
+
+// Send enqueues p for transmission. It returns false if the queue limit
+// dropped the packet.
+func (l *Link) Send(p *Packet) bool {
+	if l.MaxQueue > 0 && l.queued >= l.MaxQueue {
+		l.Dropped++
+		return false
+	}
+	now := l.eng.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	done := start + l.TxTime(p.Size)
+	l.busyUntil = done
+	l.queued++
+	if l.queued > l.MaxQueued {
+		l.MaxQueued = l.queued
+	}
+	l.Sent++
+	l.Bytes += int64(p.Size)
+	l.eng.AtLabeled(done+l.delay, "link:"+l.Name, func() {
+		l.queued--
+		l.dst.Deliver(p)
+	})
+	return true
+}
+
+// Deliver implements Endpoint so links can be chained into paths: a packet
+// delivered to a link is forwarded (store-and-forward) onto it.
+func (l *Link) Deliver(p *Packet) { l.Send(p) }
+
+// Path is a convenience for a chain of links; sending on the path sends on
+// the first link, which forwards through the rest.
+type Path struct {
+	links []*Link
+}
+
+// NewPath chains links head-to-tail: each link's destination must already
+// be the next link (or the final endpoint).
+func NewPath(links ...*Link) *Path {
+	if len(links) == 0 {
+		panic("netstack: empty path")
+	}
+	return &Path{links: links}
+}
+
+// Send transmits on the path's first link.
+func (p *Path) Send(pkt *Packet) bool { return p.links[0].Send(pkt) }
+
+// Deliver implements Endpoint.
+func (p *Path) Deliver(pkt *Packet) { p.Send(pkt) }
+
+// OneWayDelay returns the sum of propagation delays plus one serialization
+// of n bytes per link — the no-queueing latency of the path.
+func (p *Path) OneWayDelay(n int) sim.Time {
+	var d sim.Time
+	for _, l := range p.links {
+		d += l.Delay() + l.TxTime(n)
+	}
+	return d
+}
+
+// Bottleneck returns the lowest link bandwidth on the path.
+func (p *Path) Bottleneck() int64 {
+	min := p.links[0].Bandwidth()
+	for _, l := range p.links[1:] {
+		if b := l.Bandwidth(); b < min {
+			min = b
+		}
+	}
+	return min
+}
+
+// WANEmulator builds the paper's laboratory WAN: a duplex path between two
+// endpoints through an emulated bottleneck router. Each direction is a
+// 100 Mbps access link into the router followed by a bottleneck link of the
+// configured bandwidth carrying half the round-trip delay.
+type WANEmulator struct {
+	// AtoB and BtoA are the directional paths.
+	AtoB, BtoA *Path
+}
+
+// NewWANEmulator wires endpoints a and b through an emulated WAN with the
+// given bottleneck bandwidth and total round-trip propagation delay.
+// accessBps is the LAN speed of the end hosts' links into the emulator
+// (the paper used 100 Mbps Ethernet).
+func NewWANEmulator(eng *sim.Engine, accessBps, bottleneckBps int64, rtt sim.Time, a, b Endpoint) *WANEmulator {
+	half := rtt / 2
+	mkDir := func(name string, dst Endpoint) *Path {
+		bottleneck := NewLink(eng, name+"-wan", bottleneckBps, half, dst)
+		access := NewLink(eng, name+"-lan", accessBps, 30*sim.Microsecond, bottleneck)
+		return NewPath(access, bottleneck)
+	}
+	return &WANEmulator{
+		AtoB: mkDir("a2b", b),
+		BtoA: mkDir("b2a", a),
+	}
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it; a fired or canceled Event is inert.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-break: FIFO among events scheduled for the same instant
+	fn     func()
+	index  int // position in the heap, -1 when not queued
+	fired  bool
+	label  string
+	engine *Engine
+}
+
+// At reports the simulated time the event is (or was) scheduled for.
+func (ev *Event) At() Time { return ev.at }
+
+// Pending reports whether the event is still queued.
+func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 }
+
+// Cancel removes the event from the queue. Canceling a fired, canceled, or
+// nil event is a no-op, so callers need not track event lifetimes precisely.
+func (ev *Event) Cancel() {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&ev.engine.queue, ev.index)
+}
+
+// Label returns the debug label attached at scheduling time (may be empty).
+func (ev *Event) Label() string { return ev.label }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; the simulated kernel is a uniprocessor, as in the paper's
+// testbed, so no locking is needed or wanted.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *RNG
+	stopped bool
+
+	// Fired counts events executed since construction, for tests and
+	// progress reporting.
+	Fired uint64
+}
+
+// NewEngine returns an engine at time zero whose RNG is seeded with seed.
+// The same seed always produces the same run.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *RNG { return e.rng }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a modeling bug, and silently clamping would corrupt
+// measured distributions.
+func (e *Engine) At(t Time, fn func()) *Event {
+	return e.AtLabeled(t, "", fn)
+}
+
+// AtLabeled is At with a debug label attached to the event.
+func (e *Engine) AtLabeled(t Time, label string, fn func()) *Event {
+	if fn == nil {
+		panic("sim: schedule of nil func")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v (label %q)", t, e.now, label))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn, label: label, engine: e}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.AtLabeled(e.now+d, "", fn)
+}
+
+// AfterLabeled is After with a debug label.
+func (e *Engine) AfterLabeled(d Time, label string, fn func()) *Event {
+	return e.AtLabeled(e.now+d, label, fn)
+}
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It returns false if the queue is empty or the engine has been stopped.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.at < e.now {
+		panic("sim: time went backwards") // unreachable; guards heap bugs
+	}
+	e.now = ev.at
+	ev.fired = true
+	e.Fired++
+	ev.fn()
+	return true
+}
+
+// RunUntil fires events in order until the next event would be after t (or
+// the queue drains), then advances the clock to exactly t. This is the main
+// driver for fixed-duration experiments.
+func (e *Engine) RunUntil(t Time) {
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if !e.stopped && t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor runs the simulation for d nanoseconds of simulated time.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// Run fires events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Stop halts the run loop after the current event returns. Subsequent Step
+// calls return false until the engine is discarded; Stop is terminal.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-width-bucket histogram over [0, Width*len(buckets)),
+// with an overflow bucket. It supports the quantile queries the experiments
+// need (median of huge samples, tail fractions) in O(1) memory per bucket,
+// which keeps two-million-sample workload measurements cheap.
+type Histogram struct {
+	width    float64
+	buckets  []int64
+	overflow int64
+	n        int64
+	sum      float64
+}
+
+// NewHistogram creates a histogram with nbuckets buckets of the given width.
+func NewHistogram(width float64, nbuckets int) *Histogram {
+	if width <= 0 || nbuckets <= 0 {
+		panic("stats: histogram needs positive width and bucket count")
+	}
+	return &Histogram{width: width, buckets: make([]int64, nbuckets)}
+}
+
+// Add records an observation. Negative values clamp to the first bucket.
+func (h *Histogram) Add(v float64) {
+	h.n++
+	h.sum += v
+	if v < 0 {
+		v = 0
+	}
+	idx := int(v / h.width)
+	if idx >= len(h.buckets) {
+		h.overflow++
+		return
+	}
+	h.buckets[idx]++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Mean returns the exact running mean (not bucket-quantized).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile returns an estimate of the q-th quantile (q in [0,1]) by linear
+// interpolation within the containing bucket. Overflowed mass reports the
+// histogram's upper bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.n)
+	var cum int64
+	for i, c := range h.buckets {
+		if float64(cum+c) >= target && c > 0 {
+			within := (target - float64(cum)) / float64(c)
+			if within < 0 {
+				within = 0
+			}
+			return (float64(i) + within) * h.width
+		}
+		cum += c
+	}
+	return h.width * float64(len(h.buckets))
+}
+
+// FracAbove returns the fraction of observations in buckets entirely above x
+// (bucket-quantized; the bucket containing x counts as below).
+func (h *Histogram) FracAbove(x float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	idx := int(x/h.width) + 1
+	var above int64 = h.overflow
+	for i := idx; i < len(h.buckets); i++ {
+		above += h.buckets[i]
+	}
+	return float64(above) / float64(h.n)
+}
+
+// CDF evaluates the empirical CDF at each bucket boundary up to max.
+func (h *Histogram) CDF(max float64) []CDFPoint {
+	var out []CDFPoint
+	var cum int64
+	for i, c := range h.buckets {
+		x := float64(i+1) * h.width
+		if x > max {
+			break
+		}
+		cum += c
+		frac := 0.0
+		if h.n > 0 {
+			frac = float64(cum) / float64(h.n)
+		}
+		out = append(out, CDFPoint{X: x, Frac: frac})
+	}
+	return out
+}
+
+// ASCII renders a quick bar-chart view for CLI output and debugging.
+func (h *Histogram) ASCII(maxBuckets int) string {
+	var b strings.Builder
+	var peak int64 = 1
+	limit := len(h.buckets)
+	if maxBuckets > 0 && maxBuckets < limit {
+		limit = maxBuckets
+	}
+	for i := 0; i < limit; i++ {
+		if h.buckets[i] > peak {
+			peak = h.buckets[i]
+		}
+	}
+	for i := 0; i < limit; i++ {
+		bar := int(float64(h.buckets[i]) / float64(peak) * 50)
+		fmt.Fprintf(&b, "%8.1f |%s %d\n", float64(i)*h.width, strings.Repeat("#", bar), h.buckets[i])
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, "overflow: %d\n", h.overflow)
+	}
+	return b.String()
+}
+
+// WindowedMedians computes the median of observations falling in successive
+// fixed-length time windows, as in the paper's Figure 5 (trigger-interval
+// medians over 1 ms and 10 ms windows). Observations are (time, value) pairs
+// which must be fed in nondecreasing time order.
+type WindowedMedians struct {
+	window  float64
+	start   float64
+	current []float64
+	Medians []float64 // one median per completed window; empty windows skip
+	Starts  []float64 // window start times aligned with Medians
+}
+
+// NewWindowedMedians creates an accumulator with the given window length.
+func NewWindowedMedians(window float64) *WindowedMedians {
+	if window <= 0 {
+		panic("stats: window must be positive")
+	}
+	return &WindowedMedians{window: window}
+}
+
+// Add records value v observed at time t. Time must not decrease.
+func (w *WindowedMedians) Add(t, v float64) {
+	for t >= w.start+w.window {
+		w.flush()
+		w.start += w.window
+	}
+	w.current = append(w.current, v)
+}
+
+// Flush closes the current window. Call once after the final observation.
+func (w *WindowedMedians) Flush() { w.flush() }
+
+func (w *WindowedMedians) flush() {
+	if len(w.current) == 0 {
+		return
+	}
+	sort.Float64s(w.current)
+	n := len(w.current)
+	var med float64
+	if n%2 == 1 {
+		med = w.current[n/2]
+	} else {
+		med = (w.current[n/2-1] + w.current[n/2]) / 2
+	}
+	w.Medians = append(w.Medians, med)
+	w.Starts = append(w.Starts, w.start)
+	w.current = w.current[:0]
+}

@@ -1,0 +1,254 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Median() != 0 || s.StdDev() != 0 ||
+		s.Min() != 0 || s.Max() != 0 || s.FracAbove(5) != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestSampleBasicMoments(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.StdDev(); !approx(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	var odd Sample
+	odd.AddAll([]float64{5, 1, 3})
+	if odd.Median() != 3 {
+		t.Errorf("odd median = %v, want 3", odd.Median())
+	}
+	var even Sample
+	even.AddAll([]float64{1, 3, 5, 7})
+	if even.Median() != 4 {
+		t.Errorf("even median = %v, want 4", even.Median())
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{10, 20, 30, 40, 50})
+	if s.Percentile(0) != 10 || s.Percentile(100) != 50 {
+		t.Errorf("extreme percentiles wrong: %v / %v", s.Percentile(0), s.Percentile(100))
+	}
+	if got := s.Percentile(25); got != 20 {
+		t.Errorf("P25 = %v, want 20", got)
+	}
+	if got := s.Percentile(-1); got != 10 {
+		t.Errorf("P(-1) = %v, want clamp to min", got)
+	}
+	if got := s.Percentile(101); got != 50 {
+		t.Errorf("P(101) = %v, want clamp to max", got)
+	}
+}
+
+func TestFracAbove(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if got := s.FracAbove(7); got != 0.3 {
+		t.Errorf("FracAbove(7) = %v, want 0.3", got)
+	}
+	if got := s.FracAbove(10); got != 0 {
+		t.Errorf("FracAbove(10) = %v, want 0 (strictly greater)", got)
+	}
+	if got := s.FracAbove(0); got != 1 {
+		t.Errorf("FracAbove(0) = %v, want 1", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{5, 10, 10, 20, 100})
+	pts := s.CDF([]float64{0, 5, 10, 20, 50, 100})
+	if pts[0].Frac != 0 {
+		t.Errorf("CDF(0) = %v, want 0", pts[0].Frac)
+	}
+	if pts[2].Frac != 0.6 {
+		t.Errorf("CDF(10) = %v, want 0.6", pts[2].Frac)
+	}
+	if pts[len(pts)-1].Frac != 1 {
+		t.Errorf("CDF(max) = %v, want 1", pts[len(pts)-1].Frac)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Frac < pts[i-1].Frac {
+			t.Fatal("CDF not monotone")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{10, 20, 120, 160})
+	sm := s.Summarize(100, 150)
+	if sm.N != 4 || sm.Max != 160 {
+		t.Errorf("N/Max = %d/%v", sm.N, sm.Max)
+	}
+	if sm.Above1 != 0.5 || sm.Above2 != 0.25 {
+		t.Errorf("tails = %v/%v, want 0.5/0.25", sm.Above1, sm.Above2)
+	}
+	if sm.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by [min, max].
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, pa, pb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		lo, hi := float64(pa%101), float64(pb%101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		a, b := s.Percentile(lo), s.Percentile(hi)
+		return a <= b && a >= s.Min() && b <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Values() returns a sorted permutation of the inputs.
+func TestPropertyValuesSorted(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		clean := raw[:0:0]
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				continue
+			}
+			clean = append(clean, v)
+			s.Add(v)
+		}
+		got := s.Values()
+		if len(got) != len(clean) {
+			return false
+		}
+		if !sort.Float64sAreSorted(got) {
+			return false
+		}
+		want := append([]float64(nil), clean...)
+		sort.Float64s(want)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineMatchesSample(t *testing.T) {
+	var s Sample
+	var o Online
+	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3.5}
+	for _, v := range vals {
+		s.Add(v)
+		o.Add(v)
+	}
+	if o.N() != int64(s.N()) {
+		t.Fatalf("N mismatch")
+	}
+	if !approx(o.Mean(), s.Mean(), 1e-9) {
+		t.Errorf("mean %v vs %v", o.Mean(), s.Mean())
+	}
+	if !approx(o.StdDev(), s.StdDev(), 1e-9) {
+		t.Errorf("stddev %v vs %v", o.StdDev(), s.StdDev())
+	}
+	if o.Min() != 1 || o.Max() != 9 {
+		t.Errorf("min/max %v/%v", o.Min(), o.Max())
+	}
+}
+
+func TestOnlineMerge(t *testing.T) {
+	var whole, a, b Online
+	for i := 0; i < 100; i++ {
+		v := float64(i*i%37) + 0.5
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatal("merged N mismatch")
+	}
+	if !approx(a.Mean(), whole.Mean(), 1e-9) || !approx(a.StdDev(), whole.StdDev(), 1e-9) {
+		t.Fatalf("merged moments diverge: %v/%v vs %v/%v", a.Mean(), a.StdDev(), whole.Mean(), whole.StdDev())
+	}
+	var empty Online
+	a.Merge(&empty) // merging empty is a no-op
+	if a.N() != whole.N() {
+		t.Fatal("merge with empty changed N")
+	}
+	var fresh Online
+	fresh.Merge(&whole)
+	if fresh.N() != whole.N() || !approx(fresh.Mean(), whole.Mean(), 1e-12) {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+// Property: Online merge equals sequential accumulation for any split.
+func TestPropertyOnlineMerge(t *testing.T) {
+	f := func(raw []float64, split uint8) bool {
+		var vals []float64
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				continue
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		k := int(split) % (len(vals) + 1)
+		var whole, left, right Online
+		for i, v := range vals {
+			whole.Add(v)
+			if i < k {
+				left.Add(v)
+			} else {
+				right.Add(v)
+			}
+		}
+		left.Merge(&right)
+		return left.N() == whole.N() &&
+			approx(left.Mean(), whole.Mean(), 1e-6*(1+math.Abs(whole.Mean()))) &&
+			approx(left.Variance(), whole.Variance(), 1e-5*(1+whole.Variance()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package tcp
+
+import (
+	"softtimers/internal/netstack"
+	"softtimers/internal/sim"
+)
+
+// EngineEnv is an Env backed directly by the simulation engine, for client
+// hosts and otherwise-unloaded machines whose CPU costs are not under
+// study: timers are exact and transmission costs nothing.
+type EngineEnv struct {
+	Eng *sim.Engine
+	// Out receives transmitted packets (typically a netstack.Link or
+	// Path toward the peer).
+	Out netstack.Endpoint
+}
+
+// Now implements Env.
+func (e *EngineEnv) Now() sim.Time { return e.Eng.Now() }
+
+// After implements Env.
+func (e *EngineEnv) After(d sim.Time, fn func()) Canceler {
+	return eventCanceler{e.Eng.After(d, fn)}
+}
+
+// Transmit implements Env.
+func (e *EngineEnv) Transmit(pkts []*netstack.Packet) {
+	for _, p := range pkts {
+		e.Out.Deliver(p)
+	}
+}
+
+type eventCanceler struct{ ev *sim.Event }
+
+func (c eventCanceler) Cancel() bool {
+	pending := c.ev.Pending()
+	c.ev.Cancel()
+	return pending
+}

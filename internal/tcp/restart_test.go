@@ -1,0 +1,87 @@
+package tcp
+
+import (
+	"testing"
+
+	"softtimers/internal/sim"
+)
+
+// TestIdleRestartSlowStartPenalty reproduces the persistent-HTTP restart
+// problem (Section 6, Visweswaraiah & Heidemann): after an idle period,
+// BSD closes the congestion window and the next response pays a full slow
+// start — while a paced restart at the known rate does not.
+func TestIdleRestartSlowStartPenalty(t *testing.T) {
+	// Phase 1: a 100-segment response over the 50 Mbps WAN grows cwnd.
+	r := newRig(t, 100, 50, false)
+	r.snd.Start()
+	r.eng.RunUntil(10 * sim.Second)
+	if r.done == 0 {
+		t.Fatal("first response incomplete")
+	}
+	grownCwnd := r.snd.Cwnd()
+	if grownCwnd < 20 {
+		t.Fatalf("cwnd = %v after 100 segments, want grown", grownCwnd)
+	}
+
+	// Idle period, then a second 100-segment response on the same
+	// connection with the window reset (BSD behaviour).
+	r.snd.RestartIdle()
+	if r.snd.Cwnd() != 1 {
+		t.Fatalf("cwnd after idle restart = %v, want initial 1", r.snd.Cwnd())
+	}
+	r.eng.RunFor(2 * sim.Second) // the idle gap
+	start2 := r.eng.Now()
+	r.rcv.Expected = 200
+	var done2 sim.Time
+	r.rcv.OnComplete = func(now sim.Time) { done2 = now }
+	r.snd.AddSegments(100)
+	r.snd.Kick()
+	r.eng.RunUntil(start2 + 20*sim.Second)
+	if done2 == 0 {
+		t.Fatal("second response incomplete")
+	}
+	slowStartRestart := done2 - start2
+	// The restarted transfer pays the slow-start + delayed-ACK stall
+	// again: near the first response's ~1.2s, not a windowed ~0.2s.
+	if slowStartRestart < 800*sim.Millisecond {
+		t.Fatalf("restart took %v — where did the slow-start penalty go?", slowStartRestart)
+	}
+
+	// Phase 2 alternative: rate-based clocking restart at the known
+	// bottleneck rate (what soft timers enable).
+	p := newRig(t, 100, 50, true)
+	interval := 240 * sim.Microsecond
+	var tick func()
+	tick = func() {
+		if _, more := p.snd.PacedSendOne(p.eng.Now()); more {
+			p.eng.After(interval, tick)
+		}
+	}
+	p.eng.After(interval, tick)
+	p.eng.RunUntil(5 * sim.Second)
+	if p.done == 0 {
+		t.Fatal("paced restart incomplete")
+	}
+	if p.done > slowStartRestart/4 {
+		t.Fatalf("paced restart (%v) should be far below slow-start restart (%v)",
+			p.done, slowStartRestart)
+	}
+}
+
+func TestAddSegmentsValidation(t *testing.T) {
+	r := newRig(t, 10, 50, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative AddSegments did not panic")
+		}
+	}()
+	r.snd.AddSegments(-1)
+}
+
+func TestRestartIdleNoopOnPaced(t *testing.T) {
+	r := newRig(t, 10, 50, true)
+	r.snd.RestartIdle() // must not panic or alter paced behaviour
+	if r.snd.Cwnd() != 1 {
+		t.Fatalf("paced cwnd = %v (untouched default expected)", r.snd.Cwnd())
+	}
+}

@@ -1,0 +1,357 @@
+// Package tcp models the transport behaviour the paper's experiments
+// depend on: a BSD-style TCP sender with slow start, congestion avoidance
+// and ACK self-clocking; a receiver with delayed ACKs; and the paper's
+// extension — rate-based clocking, where transmissions are paced by a
+// timer (soft or hardware) at a known network capacity instead of being
+// clocked by returning ACKs, skipping slow start entirely (Sections 2.1,
+// 4.1, 5.6–5.8 and Appendix A).
+//
+// Sequence numbers are whole segments (the paper's tables count 1448-byte
+// packets). Links in this repository are FIFO and the paper's WAN runs are
+// loss-free, so reordering and loss recovery are out of scope; see
+// DESIGN.md.
+package tcp
+
+import (
+	"math"
+
+	"softtimers/internal/netstack"
+	"softtimers/internal/sim"
+)
+
+// Canceler is a cancellable timer handle.
+type Canceler interface {
+	Cancel() bool
+}
+
+// Env is the host environment a TCP endpoint runs in. Server endpoints are
+// backed by the simulated kernel (timers are callouts, transmission passes
+// through the IP output path with its trigger states and CPU costs); client
+// endpoints and unloaded hosts run directly on the engine.
+type Env interface {
+	// Now returns the current simulated time.
+	Now() sim.Time
+	// After schedules a conventional protocol timer.
+	After(d sim.Time, fn func()) Canceler
+	// Transmit hands packets to the host's IP output path in order.
+	Transmit(pkts []*netstack.Packet)
+}
+
+// Config holds protocol parameters. The zero value is unusable; use
+// DefaultConfig (FreeBSD-2.2.6-like, as in the paper's testbed).
+type Config struct {
+	// MSS is the payload bytes per segment (paper: 1448).
+	MSS int
+	// HeaderBytes is added to every packet's wire size (TCP/IP+framing).
+	HeaderBytes int
+	// InitialCwnd is the initial congestion window in segments.
+	// FreeBSD-2.2.6 started at 1 segment.
+	InitialCwnd float64
+	// RcvWnd is the receiver window in segments (the testbed used large
+	// socket buffers; window limiting is not under study).
+	RcvWnd int64
+	// AckEvery makes the receiver ACK immediately every n-th segment
+	// (delayed ACKs: 2).
+	AckEvery int
+	// DelAckTimeout bounds how long an ACK may be delayed (200 ms).
+	DelAckTimeout sim.Time
+	// SlowStart enables the slow-start/congestion-avoidance sender; when
+	// false the sender may only transmit via rate-based clocking.
+	SlowStart bool
+	// SSThresh is the slow-start threshold in segments; beyond it cwnd
+	// grows linearly (congestion avoidance).
+	SSThresh float64
+}
+
+// DefaultConfig returns the paper-testbed parameters.
+func DefaultConfig() Config {
+	return Config{
+		MSS:           1448,
+		HeaderBytes:   52,
+		InitialCwnd:   1,
+		RcvWnd:        1 << 30,
+		AckEvery:      2,
+		DelAckTimeout: 200 * sim.Millisecond,
+		SlowStart:     true,
+		SSThresh:      math.Inf(1),
+	}
+}
+
+// WireSize returns the on-the-wire size of a segment carrying payload
+// bytes of data.
+func (c Config) WireSize(payload int) int { return payload + c.HeaderBytes }
+
+// Sender transmits `total` segments on a flow. In self-clocked mode,
+// transmissions are driven by Start and arriving ACKs; in paced mode an
+// external pacer pulls segments one at a time via PacedSendOne.
+type Sender struct {
+	env   Env
+	cfg   Config
+	flow  int
+	total int64
+
+	nextSeq int64   // next segment index to transmit
+	ackedTo int64   // cumulative segments acknowledged
+	cwnd    float64 // congestion window, segments
+	paced   bool
+	started bool
+
+	// OnAllAcked, if set, runs when every segment has been acknowledged.
+	OnAllAcked func(now sim.Time)
+	// OnSend, if set, observes each transmitted data packet.
+	OnSend func(p *netstack.Packet)
+
+	// Counters.
+	SegmentsSent int64
+	AcksSeen     int64
+	// MaxBurst is the largest number of segments transmitted in response
+	// to a single ACK (big-ACK burstiness, Appendix A).
+	MaxBurst int64
+
+	// smooth, when non-nil, spreads post-big-ACK bursts at the measured
+	// ACK arrival rate (EnableBurstSmoothing; Appendix A.1).
+	smooth *burstSmoother
+}
+
+// NewSender creates a sender of total segments on flow. paced selects
+// rate-based clocking: the sender will not self-clock, and transmissions
+// happen only through PacedSendOne.
+func NewSender(env Env, cfg Config, flow int, total int64, paced bool) *Sender {
+	if total < 0 {
+		panic("tcp: negative transfer size")
+	}
+	return &Sender{env: env, cfg: cfg, flow: flow, total: total, cwnd: cfg.InitialCwnd, paced: paced}
+}
+
+// Start begins a self-clocked transfer by sending the initial window. For
+// paced senders Start is a no-op (the pacer drives transmission).
+func (s *Sender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	if s.paced {
+		return
+	}
+	s.pump()
+}
+
+// Done reports whether every segment has been acknowledged (self-clocked)
+// or transmitted (paced — the pacer has no ACK obligation).
+func (s *Sender) Done() bool {
+	if s.paced {
+		return s.nextSeq >= s.total
+	}
+	return s.ackedTo >= s.total
+}
+
+// Remaining returns the number of segments not yet transmitted.
+func (s *Sender) Remaining() int64 { return s.total - s.nextSeq }
+
+// Cwnd returns the current congestion window in segments.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// inflight returns transmitted-but-unacknowledged segments.
+func (s *Sender) inflight() int64 { return s.nextSeq - s.ackedTo }
+
+// pump transmits every currently-eligible segment (self-clocked mode).
+func (s *Sender) pump() {
+	var burst []*netstack.Packet
+	for s.nextSeq < s.total &&
+		float64(s.inflight())+1 <= s.cwnd &&
+		s.inflight() < s.cfg.RcvWnd {
+		burst = append(burst, s.makeSegment())
+	}
+	s.send(burst)
+}
+
+func (s *Sender) makeSegment() *netstack.Packet {
+	payload := s.cfg.MSS
+	p := &netstack.Packet{
+		Flow:    s.flow,
+		Kind:    netstack.Data,
+		Seq:     s.nextSeq,
+		Size:    s.cfg.WireSize(payload),
+		Payload: payload,
+		SentAt:  s.env.Now(),
+	}
+	s.nextSeq++
+	s.SegmentsSent++
+	return p
+}
+
+func (s *Sender) send(burst []*netstack.Packet) {
+	if len(burst) == 0 {
+		return
+	}
+	if int64(len(burst)) > s.MaxBurst {
+		s.MaxBurst = int64(len(burst))
+	}
+	if s.OnSend != nil {
+		for _, p := range burst {
+			s.OnSend(p)
+		}
+	}
+	s.env.Transmit(burst)
+}
+
+// HandleAck processes a cumulative acknowledgment: grow the window (one
+// segment per ACK in slow start, 1/cwnd per ACK in congestion avoidance —
+// BSD behaviour) and transmit newly eligible segments.
+func (s *Sender) HandleAck(p *netstack.Packet) {
+	s.AcksSeen++
+	covered := p.AckSeq - s.ackedTo
+	if p.AckSeq > s.ackedTo {
+		s.ackedTo = p.AckSeq
+	}
+	if !s.paced && s.cfg.SlowStart {
+		if s.cwnd < s.cfg.SSThresh {
+			s.cwnd++
+		} else {
+			s.cwnd += 1 / s.cwnd
+		}
+	}
+	if !s.paced {
+		compressed := false
+		if s.smooth != nil && covered > 0 {
+			compressed = s.smooth.tracker.Observe(s.env.Now(), covered)
+		}
+		if !s.smoothedPump(compressed) {
+			s.pump()
+		}
+	}
+	if s.ackedTo >= s.total && s.OnAllAcked != nil {
+		cb := s.OnAllAcked
+		s.OnAllAcked = nil
+		cb(s.env.Now())
+	}
+}
+
+// RestartIdle models a self-clocked connection resuming after an idle
+// period: BSD resets the congestion window to the initial value, forcing a
+// fresh slow start (the behaviour Visweswaraiah & Heidemann observed
+// defeating persistent-HTTP, Section 6). Rate-based clocking avoids this
+// restart penalty by pacing at the connection's last known rate instead —
+// see AddSegments with a paced sender.
+func (s *Sender) RestartIdle() {
+	if s.paced {
+		return // paced senders have no window to lose
+	}
+	s.cwnd = s.cfg.InitialCwnd
+}
+
+// AddSegments extends the transfer by n segments (a new request arriving
+// on a persistent connection). For a self-clocked sender that has been
+// idle, call RestartIdle first to model BSD's window reset; then Kick
+// restarts transmission.
+func (s *Sender) AddSegments(n int64) {
+	if n < 0 {
+		panic("tcp: negative segment count")
+	}
+	s.total += n
+}
+
+// Kick resumes self-clocked transmission after AddSegments (the window may
+// allow immediate sends even though no ACK is in flight).
+func (s *Sender) Kick() {
+	if !s.paced {
+		s.pump()
+	}
+}
+
+// PacedSendOne transmits exactly one segment, for use as a pacer transmit
+// callback. It returns the wire transmission and whether segments remain
+// after this one. Calling it on a self-clocked sender panics.
+func (s *Sender) PacedSendOne(now sim.Time) (sent *netstack.Packet, more bool) {
+	if !s.paced {
+		panic("tcp: PacedSendOne on a self-clocked sender")
+	}
+	if s.nextSeq >= s.total {
+		return nil, false
+	}
+	p := s.makeSegment()
+	s.send([]*netstack.Packet{p})
+	return p, s.nextSeq < s.total
+}
+
+// Receiver consumes data segments in order and generates delayed ACKs: an
+// immediate ACK every AckEvery segments, otherwise one when the delayed-ACK
+// timer expires — the behaviour whose interaction with slow start produces
+// the paper's 200 ms stalls on small transfers (Table 6) and whose
+// aggregation produces big ACKs (Appendix A.3).
+type Receiver struct {
+	env  Env
+	cfg  Config
+	flow int
+
+	received int64 // cumulative in-order segments
+	ackedTo  int64 // cumulative segments covered by sent ACKs
+	delack   Canceler
+
+	// Expected, when positive, makes OnComplete fire once that many
+	// segments have arrived.
+	Expected   int64
+	OnComplete func(now sim.Time)
+	// OnData observes every arriving data segment.
+	OnData func(p *netstack.Packet)
+
+	// Counters.
+	AcksSent int64
+	// BigAcks counts ACKs covering more than 3 segments (Appendix A.3's
+	// definition of a big ACK).
+	BigAcks int64
+	// DelAckFires counts ACKs produced by the delayed-ACK timer.
+	DelAckFires int64
+}
+
+// NewReceiver creates a receiver for flow.
+func NewReceiver(env Env, cfg Config, flow int) *Receiver {
+	return &Receiver{env: env, cfg: cfg, flow: flow}
+}
+
+// Received returns the cumulative count of in-order segments.
+func (r *Receiver) Received() int64 { return r.received }
+
+// HandleData processes an arriving data segment.
+func (r *Receiver) HandleData(p *netstack.Packet) {
+	r.received++
+	if r.OnData != nil {
+		r.OnData(p)
+	}
+	if r.received-r.ackedTo >= int64(r.cfg.AckEvery) {
+		r.sendAck(false)
+	} else if r.delack == nil && r.cfg.DelAckTimeout > 0 {
+		r.delack = r.env.After(r.cfg.DelAckTimeout, func() {
+			r.delack = nil
+			if r.received > r.ackedTo {
+				r.DelAckFires++
+				r.sendAck(true)
+			}
+		})
+	}
+	if r.Expected > 0 && r.received >= r.Expected && r.OnComplete != nil {
+		cb := r.OnComplete
+		r.OnComplete = nil
+		cb(r.env.Now())
+	}
+}
+
+func (r *Receiver) sendAck(fromTimer bool) {
+	covered := r.received - r.ackedTo
+	r.ackedTo = r.received
+	if r.delack != nil && !fromTimer {
+		r.delack.Cancel()
+		r.delack = nil
+	}
+	r.AcksSent++
+	if covered > 3 {
+		r.BigAcks++
+	}
+	r.env.Transmit([]*netstack.Packet{{
+		Flow:   r.flow,
+		Kind:   netstack.Ack,
+		AckSeq: r.ackedTo,
+		Size:   r.cfg.WireSize(0),
+		SentAt: r.env.Now(),
+	}})
+}

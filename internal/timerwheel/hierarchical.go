@@ -1,0 +1,216 @@
+package timerwheel
+
+// Hierarchical is a multi-level timing wheel (the "hierarchical" scheme of
+// Varghese & Lauck). Level 0 has one-tick resolution; each higher level is
+// coarser by a factor of the slot count. Timers too far out for level 0 park
+// in a higher level and cascade down as the clock approaches them, so a mix
+// of microsecond soft-timer events and millisecond protocol timeouts never
+// crowds one slot list. Deadlines beyond the top level go to an overflow
+// list and re-enter the wheel as it advances.
+//
+// Hierarchical implements Queue, and the soft-timer facility can use either
+// variant; the hashed Wheel is the default (as in the paper), this variant
+// backs the timer-structure ablation benchmark.
+type Hierarchical struct {
+	levels   [hLevels][hSlots]slot
+	cur      Tick
+	n        int
+	overflow slot
+	earliest Tick
+	dirty    bool
+	advGen   uint64
+}
+
+const (
+	hBits   = 6 // 64 slots per level
+	hSlots  = 1 << hBits
+	hLevels = 4 // covers 64^4 = ~16.7M ticks ≈ 16.7 s at 1 µs resolution
+	hSpan   = Tick(1) << (hBits * hLevels)
+)
+
+// NewHierarchical returns an empty hierarchical wheel at tick 0.
+func NewHierarchical() *Hierarchical {
+	return &Hierarchical{earliest: NoDeadline}
+}
+
+// levelFor returns which level a deadline delta (deadline - cur) belongs to,
+// or -1 for the overflow list.
+func levelFor(delta Tick) int {
+	for l := 0; l < hLevels; l++ {
+		if delta < Tick(1)<<(hBits*(l+1)) {
+			return l
+		}
+	}
+	return -1
+}
+
+func (h *Hierarchical) place(t *Timer) {
+	var delta Tick
+	if t.deadline > h.cur {
+		delta = t.deadline - h.cur
+	}
+	l := levelFor(delta)
+	if l < 0 {
+		h.overflow.push(t)
+		return
+	}
+	idx := (t.deadline >> (hBits * l)) & (hSlots - 1)
+	h.levels[l][idx].push(t)
+}
+
+// Schedule implements Queue.
+func (h *Hierarchical) Schedule(deadline Tick, fn Handler) *Timer {
+	if fn == nil {
+		panic("timerwheel: schedule of nil handler")
+	}
+	t := &Timer{deadline: deadline, fn: fn, own: h, gen: h.advGen}
+	h.place(t)
+	h.n++
+	if deadline < h.earliest {
+		h.earliest = deadline
+		h.dirty = false
+	}
+	return t
+}
+
+// Len implements Queue.
+func (h *Hierarchical) Len() int { return h.n }
+
+// Earliest implements Queue.
+func (h *Hierarchical) Earliest() Tick {
+	if h.n == 0 {
+		return NoDeadline
+	}
+	if h.dirty {
+		h.recomputeEarliest()
+	}
+	return h.earliest
+}
+
+func (h *Hierarchical) recomputeEarliest() {
+	min := NoDeadline
+	scan := func(s *slot) {
+		for t := s.head; t != nil; t = t.next {
+			if t.deadline < min {
+				min = t.deadline
+			}
+		}
+	}
+	for l := 0; l < hLevels; l++ {
+		for i := range h.levels[l] {
+			scan(&h.levels[l][i])
+		}
+	}
+	scan(&h.overflow)
+	h.earliest = min
+	h.dirty = false
+}
+
+// Advance implements Queue. Level-0 slots in the crossed range fire; when a
+// level boundary is crossed, the corresponding higher-level slot cascades
+// down (its timers are re-placed relative to the new time).
+func (h *Hierarchical) Advance(now Tick) int {
+	if now < h.cur {
+		panic("timerwheel: Advance moved backwards")
+	}
+	if h.n == 0 || h.Earliest() > now {
+		// Nothing can be due; jump the clock. Slot placement is indexed
+		// by deadline prefix (not by insertion-relative offsets), and a
+		// timer whose cascade boundary the jump skipped is caught by the
+		// due-sweep below on a later Advance, so this is safe.
+		h.cur = now
+		return 0
+	}
+	h.advGen++
+	fired := 0
+	if now-h.cur >= hSlots*4 {
+		// Large jump: a tick-by-tick walk would dominate, so sweep all
+		// slots for due timers instead. Non-due timers stay where they
+		// are; the due-sweep on later advances keeps them correct.
+		fired += h.fireEverythingDue(now)
+		h.cur = now
+		return fired
+	}
+	for h.cur < now {
+		h.cur++
+		// Cascade any higher-level slot whose boundary we just crossed.
+		for l := 1; l < hLevels; l++ {
+			shift := uint(hBits * l)
+			if h.cur&((Tick(1)<<shift)-1) != 0 {
+				break // higher levels only cross when lower ones wrap
+			}
+			idx := (h.cur >> shift) & (hSlots - 1)
+			h.cascade(&h.levels[l][idx])
+		}
+		if h.cur&(hSpan-1) == 0 {
+			h.cascade(&h.overflow)
+		}
+		// Fire the level-0 slot for this tick.
+		s := &h.levels[0][h.cur&(hSlots-1)]
+		fired += h.fireSlot(s, now)
+	}
+	// Past-scheduled timers (deadline <= the pre-advance time) may sit in
+	// slots the walk above didn't visit; sweep if the bound says so.
+	if h.n > 0 && h.earliest <= now {
+		if h.dirty {
+			h.recomputeEarliest()
+		}
+		if h.earliest <= now {
+			fired += h.fireEverythingDue(now)
+		}
+	}
+	return fired
+}
+
+// cascade re-places every timer in s relative to the current time, firing
+// none (firing happens only from level 0 or the due-sweep).
+func (h *Hierarchical) cascade(s *slot) {
+	t := s.head
+	for t != nil {
+		next := t.next
+		s.remove(t)
+		h.place(t)
+		t = next
+	}
+}
+
+func (h *Hierarchical) fireSlot(s *slot, now Tick) int {
+	fired := 0
+	t := s.head
+	for t != nil {
+		next := t.next
+		if t.deadline <= now && t.gen != h.advGen {
+			s.remove(t)
+			t.slot = nil
+			h.n--
+			if t.deadline <= h.earliest {
+				h.dirty = true
+			}
+			fired++
+			t.fn(now)
+		}
+		t = next
+	}
+	return fired
+}
+
+func (h *Hierarchical) fireEverythingDue(now Tick) int {
+	fired := 0
+	for l := 0; l < hLevels; l++ {
+		for i := range h.levels[l] {
+			fired += h.fireSlot(&h.levels[l][i], now)
+		}
+	}
+	fired += h.fireSlot(&h.overflow, now)
+	return fired
+}
+
+func (h *Hierarchical) noteCancel(t *Timer) {
+	h.n--
+	if t.deadline <= h.earliest {
+		h.dirty = true
+	}
+}
+
+// Now returns the wheel's current tick.
+func (h *Hierarchical) Now() Tick { return h.cur }

@@ -1,0 +1,277 @@
+// Package timerwheel implements timing-wheel data structures for maintaining
+// scheduled timer events (Varghese & Lauck, SOSP 1987). The paper's soft
+// timer facility keeps its pending events in "a modified form of timing
+// wheels" (footnote 2): insertion and cancellation are O(1), and the check
+// performed at every trigger state — "is the earliest event due?" — is a
+// single comparison against a cached earliest deadline.
+//
+// Two variants are provided: Wheel, a hashed wheel where each slot holds an
+// unsorted list of events hashed by deadline, and Hierarchical, a multi-level
+// wheel that avoids long-timeout slot crowding. Both satisfy Queue.
+package timerwheel
+
+import "math/bits"
+
+// Tick is an absolute deadline in ticks of the caller's measurement clock.
+type Tick = uint64
+
+// NoDeadline is returned by Earliest when the queue is empty.
+const NoDeadline Tick = ^Tick(0)
+
+// Handler is a timer callback. It receives the tick at which the wheel was
+// advanced (i.e. "now"), which may be later than the timer's deadline.
+type Handler func(now Tick)
+
+// Queue is the interface shared by the wheel variants (and by the reference
+// heap used in tests).
+type Queue interface {
+	// Schedule registers fn to fire once Advance reaches deadline.
+	// Deadlines at or before the current tick fire on the next Advance.
+	Schedule(deadline Tick, fn Handler) *Timer
+	// Advance moves the current tick to now and fires, in an unspecified
+	// order among themselves, all timers with deadline <= now. It returns
+	// the number fired. now must not decrease across calls.
+	Advance(now Tick) int
+	// Earliest returns the smallest pending deadline, or NoDeadline.
+	Earliest() Tick
+	// Len returns the number of pending timers.
+	Len() int
+}
+
+// owner is the queue a timer belongs to, notified on cancellation so it can
+// maintain its count and earliest-deadline cache.
+type owner interface {
+	noteCancel(*Timer)
+}
+
+// Timer is a handle to a scheduled event, usable to cancel it.
+type Timer struct {
+	deadline   Tick
+	fn         Handler
+	next, prev *Timer
+	slot       *slot  // nil when fired, canceled, or never scheduled
+	own        owner  // queue the timer is scheduled in
+	gen        uint64 // Advance generation this timer was scheduled in, if any
+}
+
+// Deadline returns the tick the timer was scheduled for.
+func (t *Timer) Deadline() Tick { return t.deadline }
+
+// Pending reports whether the timer is still scheduled.
+func (t *Timer) Pending() bool { return t != nil && t.slot != nil }
+
+// Cancel removes the timer; canceling a fired/canceled/nil timer is a no-op.
+// It reports whether the timer was pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.slot == nil {
+		return false
+	}
+	t.slot.remove(t)
+	t.slot = nil
+	t.own.noteCancel(t)
+	return true
+}
+
+// slot is an intrusive doubly-linked list of timers hashing to one position.
+type slot struct {
+	head *Timer
+	n    int
+}
+
+func (s *slot) push(t *Timer) {
+	t.prev = nil
+	t.next = s.head
+	if s.head != nil {
+		s.head.prev = t
+	}
+	s.head = t
+	t.slot = s
+	s.n++
+}
+
+func (s *slot) remove(t *Timer) {
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		s.head = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	}
+	t.next, t.prev = nil, nil
+	s.n--
+}
+
+// Wheel is a hashed timing wheel: slot index = deadline mod nslots, each slot
+// an unsorted list carrying full deadlines. Advance walks only the slots the
+// clock passes over, so per-tick cost is O(1) amortized plus fired handlers.
+type Wheel struct {
+	slots    []slot
+	mask     Tick
+	cur      Tick // last tick passed to Advance
+	n        int
+	earliest Tick   // lower bound on the earliest pending deadline
+	dirty    bool   // earliest needs recomputation
+	advGen   uint64 // generation counter, incremented at each Advance
+}
+
+// New returns a hashed wheel with nslots slots (rounded up to a power of
+// two, minimum 2) starting at tick 0.
+func New(nslots int) *Wheel {
+	if nslots < 2 {
+		nslots = 2
+	}
+	if nslots&(nslots-1) != 0 {
+		nslots = 1 << bits.Len(uint(nslots))
+	}
+	return &Wheel{slots: make([]slot, nslots), mask: Tick(nslots - 1), earliest: NoDeadline}
+}
+
+// Schedule implements Queue.
+func (w *Wheel) Schedule(deadline Tick, fn Handler) *Timer {
+	if fn == nil {
+		panic("timerwheel: schedule of nil handler")
+	}
+	t := &Timer{deadline: deadline, fn: fn, own: w, gen: w.advGen}
+	w.slots[deadline&w.mask].push(t)
+	w.n++
+	if deadline < w.earliest {
+		w.earliest = deadline
+		w.dirty = false
+	}
+	return t
+}
+
+// Len implements Queue.
+func (w *Wheel) Len() int { return w.n }
+
+// Earliest implements Queue. Cost is O(1) except after the previous earliest
+// event fired or was canceled, when the wheel is rescanned lazily.
+func (w *Wheel) Earliest() Tick {
+	if w.n == 0 {
+		return NoDeadline
+	}
+	if w.dirty {
+		w.recomputeEarliest()
+	}
+	return w.earliest
+}
+
+func (w *Wheel) recomputeEarliest() {
+	min := NoDeadline
+	for i := range w.slots {
+		for t := w.slots[i].head; t != nil; t = t.next {
+			if t.deadline < min {
+				min = t.deadline
+			}
+		}
+	}
+	w.earliest = min
+	w.dirty = false
+}
+
+// Due reports in O(1) whether any pending timer's deadline is <= now, using
+// the cached earliest bound. This is exactly the per-trigger-state check the
+// paper describes: read the clock, compare against the earliest event. A
+// stale (dirty) bound is still a valid lower bound, so Due may rescan at
+// most once after the earliest timer leaves the wheel.
+func (w *Wheel) Due(now Tick) bool {
+	if w.n == 0 {
+		return false
+	}
+	if !w.dirty {
+		return w.earliest <= now
+	}
+	if w.earliest > now {
+		// Lower bound already beyond now; no rescan needed.
+		return false
+	}
+	w.recomputeEarliest()
+	return w.earliest <= now
+}
+
+// Advance implements Queue. Handlers may schedule new timers; timers
+// scheduled during Advance with deadline <= now fire on the *next* Advance
+// (matching the facility's semantics: a handler runs at the following
+// trigger state, never recursively).
+func (w *Wheel) Advance(now Tick) int {
+	if now < w.cur {
+		panic("timerwheel: Advance moved backwards")
+	}
+	if w.n == 0 || w.Earliest() > now {
+		// Nothing can be due: jump the clock without touching slots.
+		// This is the common case at trigger states, so it must be O(1).
+		w.cur = now
+		return 0
+	}
+	// Mark this pass so timers a handler schedules during it — even ones
+	// already due — wait for the next Advance. Handlers run at trigger
+	// states; an immediately-due reschedule must not loop within one
+	// state. Schedule stamps each timer with the current generation;
+	// only timers stamped in *this* pass are held back.
+	w.advGen++
+	fired := 0
+	prev := w.cur
+	span := now - prev
+	nslots := Tick(len(w.slots))
+	if span >= nslots {
+		// Full rotation (or more): every slot may hold due timers.
+		fired = w.fireAllDue(now)
+	} else {
+		for tick := prev + 1; tick <= now; tick++ {
+			fired += w.fireSlot(&w.slots[tick&w.mask], now)
+		}
+		// Deadlines in (prev, now] always hash to a slot walked above,
+		// so the only due timers possibly missed are ones scheduled at
+		// or before prev. The cached earliest (even when dirty it is a
+		// valid lower bound) tells us whether any can exist.
+		if w.n > 0 && w.earliest <= prev {
+			if w.dirty {
+				w.recomputeEarliest()
+			}
+			if w.earliest <= prev {
+				fired += w.fireAllDue(now)
+			}
+		}
+	}
+	w.cur = now
+	return fired
+}
+
+func (w *Wheel) fireSlot(s *slot, now Tick) int {
+	fired := 0
+	t := s.head
+	for t != nil {
+		next := t.next
+		if t.deadline <= now && t.gen != w.advGen {
+			s.remove(t)
+			t.slot = nil
+			w.n--
+			if t.deadline <= w.earliest {
+				w.dirty = true
+			}
+			fired++
+			t.fn(now)
+		}
+		t = next
+	}
+	return fired
+}
+
+func (w *Wheel) fireAllDue(now Tick) int {
+	fired := 0
+	for i := range w.slots {
+		fired += w.fireSlot(&w.slots[i], now)
+	}
+	return fired
+}
+
+func (w *Wheel) noteCancel(t *Timer) {
+	w.n--
+	if t.deadline <= w.earliest {
+		w.dirty = true
+	}
+}
+
+// Now returns the wheel's current tick (the argument of the last Advance).
+func (w *Wheel) Now() Tick { return w.cur }

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"softtimers/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero capacity")
+		}
+	}()
+	New(0)
+}
+
+func TestAddAndEvents(t *testing.T) {
+	b := New(8)
+	for i := 0; i < 5; i++ {
+		b.Add(sim.Time(i)*sim.Microsecond, Sched, "p", int64(i))
+	}
+	if b.Len() != 5 || b.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", b.Len(), b.Dropped())
+	}
+	evs := b.Events()
+	for i, e := range evs {
+		if e.Arg != int64(i) {
+			t.Fatalf("order wrong: %v", evs)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	b := New(4)
+	for i := 0; i < 10; i++ {
+		b.Add(sim.Time(i), Intr, "x", int64(i))
+	}
+	if b.Len() != 4 {
+		t.Fatalf("len = %d, want 4", b.Len())
+	}
+	if b.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", b.Dropped())
+	}
+	evs := b.Events()
+	if evs[0].Arg != 6 || evs[3].Arg != 9 {
+		t.Fatalf("retained wrong window: %v", evs)
+	}
+}
+
+func TestDisableStopsRecording(t *testing.T) {
+	b := New(4)
+	b.Add(1, Sched, "a", 0)
+	b.Enable(false)
+	if b.Enabled() {
+		t.Fatal("Enabled() after disable")
+	}
+	b.Add(2, Sched, "b", 0)
+	if b.Len() != 1 {
+		t.Fatalf("len = %d after disabled Add", b.Len())
+	}
+}
+
+func TestFilterAndSummary(t *testing.T) {
+	b := New(16)
+	b.Add(1, Sched, "p1", 0)
+	b.Add(2, Intr, "disk", 0)
+	b.Add(3, Sched, "p2", 0)
+	b.Add(4, TriggerState, "syscalls", 0)
+	if got := len(b.Filter(Sched)); got != 2 {
+		t.Fatalf("Filter(Sched) = %d", got)
+	}
+	sum := b.Summary()
+	for _, want := range []string{"sched=2", "intr=1", "trigger=1"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary %q missing %q", sum, want)
+		}
+	}
+}
+
+func TestDump(t *testing.T) {
+	b := New(2)
+	b.Add(1, Custom, "one", 1)
+	b.Add(2, Custom, "two", 2)
+	b.Add(3, Custom, "three", 3) // evicts "one"
+	var sb strings.Builder
+	if err := b.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "one") || !strings.Contains(out, "three") {
+		t.Fatalf("dump window wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1 earlier events dropped") {
+		t.Fatalf("dump missing drop note:\n%s", out)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Sched.String() != "sched" || TriggerState.String() != "trigger" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Fatal("out-of-range kind")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 12500, Kind: Intr, Label: "disk", Arg: 7}
+	s := e.String()
+	if !strings.Contains(s, "intr") || !strings.Contains(s, "disk") || !strings.Contains(s, "(7)") {
+		t.Fatalf("event string: %q", s)
+	}
+}

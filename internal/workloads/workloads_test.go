@@ -1,0 +1,156 @@
+package workloads
+
+import (
+	"testing"
+
+	"softtimers/internal/cpu"
+	"softtimers/internal/sim"
+)
+
+func TestAllReturnsSixWorkloadsInTableOrder(t *testing.T) {
+	names := []string{"ST-Apache", "ST-Apache-compute", "ST-Flash",
+		"ST-real-audio", "ST-nfs", "ST-kernel-build"}
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("got %d workloads", len(all))
+	}
+	for i, d := range all {
+		if d.Name != names[i] {
+			t.Errorf("workload %d = %q, want %q", i, d.Name, names[i])
+		}
+		if d.Make == nil {
+			t.Errorf("workload %q has nil Make", d.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("ST-nfs")
+	if err != nil || d.Name != "ST-nfs" {
+		t.Fatalf("ByName failed: %v", err)
+	}
+	if _, err := ByName("ST-doom"); err == nil {
+		t.Fatal("unknown name did not error")
+	}
+}
+
+// collect builds the workload and gathers n interval samples.
+func collect(t *testing.T, name string, n int64) *Rig {
+	t.Helper()
+	d, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := d.Make(1, cpu.PentiumII300())
+	r.Collect(n, sim.Second, 60*sim.Second)
+	if got := r.K.Meter().N(); got < n {
+		t.Fatalf("%s: collected only %d of %d samples", name, got, n)
+	}
+	return r
+}
+
+// band asserts a value lies in [lo, hi], labeled against the paper value.
+func band(t *testing.T, what string, got, lo, hi, paper float64) {
+	t.Helper()
+	if got < lo || got > hi {
+		t.Errorf("%s = %.2f, want in [%.2f, %.2f] (paper: %.2f)", what, got, lo, hi, paper)
+	}
+}
+
+func TestApacheDistributionMatchesTable1(t *testing.T) {
+	r := collect(t, "ST-Apache", 200000)
+	h := r.K.Meter().Hist
+	band(t, "mean", h.Mean(), 26, 38, 31.52)
+	band(t, "median", h.Quantile(0.5), 13, 24, 18)
+	band(t, ">100us %", h.FracAbove(100)*100, 2, 9, 5.3)
+}
+
+func TestApacheComputeUnaffectedByBackgroundProcess(t *testing.T) {
+	// Section 5.3: "the presence of background processes has no tangible
+	// impact" — the busy server's interrupts and syscalls dominate.
+	base := collect(t, "ST-Apache", 150000).K.Meter().Hist
+	comp := collect(t, "ST-Apache-compute", 150000).K.Meter().Hist
+	if d := comp.Mean() - base.Mean(); d < -4 || d > 6 {
+		t.Errorf("compute-bound process moved mean by %.1fus (paper: +0.07us)", d)
+	}
+	if d := comp.Quantile(0.5) - base.Quantile(0.5); d < -3 || d > 3 {
+		t.Errorf("compute-bound process moved median by %.1fus (paper: 0)", d)
+	}
+}
+
+func TestFlashDistributionMatchesTable1(t *testing.T) {
+	h := collect(t, "ST-Flash", 200000).K.Meter().Hist
+	band(t, "mean", h.Mean(), 19, 29, 22.53)
+	band(t, "median", h.Quantile(0.5), 12, 22, 17)
+}
+
+func TestRealAudioDistributionMatchesTable1(t *testing.T) {
+	h := collect(t, "ST-real-audio", 200000).K.Meter().Hist
+	band(t, "mean", h.Mean(), 6.5, 10.5, 8.47)
+	band(t, "median", h.Quantile(0.5), 4.5, 8, 6)
+}
+
+func TestNFSDistributionMatchesTable1(t *testing.T) {
+	r := collect(t, "ST-nfs", 200000)
+	h := r.K.Meter().Hist
+	band(t, "mean", h.Mean(), 1.8, 3, 2.13)
+	band(t, "median", h.Quantile(0.5), 1.5, 3, 2)
+	// The CPU must be ~90% idle (disk-bound saturation).
+	a := r.K.Accounting()
+	idleFrac := float64(a.Idle) / float64(a.Idle+a.Busy())
+	band(t, "idle fraction", idleFrac, 0.80, 0.97, 0.90)
+}
+
+func TestKernelBuildDistributionMatchesTable1(t *testing.T) {
+	h := collect(t, "ST-kernel-build", 200000).K.Meter().Hist
+	band(t, "mean", h.Mean(), 4, 8, 5.63)
+	band(t, "median", h.Quantile(0.5), 1.5, 4, 2)
+	// The heavy compute tail must exist but stay bounded by hardclock.
+	if h.Quantile(1) > 1050 {
+		t.Errorf("max = %.0f, must be bounded by the 1ms backup tick", h.Quantile(1))
+	}
+	if h.Quantile(0.999) < 50 {
+		t.Errorf("p99.9 = %.0f, missing the heavy compile tail", h.Quantile(0.999))
+	}
+}
+
+func TestAllWorkloadsBoundedByHardclock(t *testing.T) {
+	// The soft-timer guarantee: no trigger gap exceeds the interrupt
+	// clock period (plus handler slack) on ANY workload.
+	for _, d := range All() {
+		r := d.Make(2, cpu.PentiumII300())
+		r.Collect(50000, 500*sim.Millisecond, 30*sim.Second)
+		h := r.K.Meter().Hist
+		if m := h.Quantile(1); m > 1100 {
+			t.Errorf("%s: max trigger gap %.0fus exceeds hardclock bound", d.Name, m)
+		}
+	}
+}
+
+func TestXeonScalesTriggerGranularity(t *testing.T) {
+	// Table 1's last row: on the 500 MHz Xeon the ST-Apache mean drops
+	// by roughly the CPU clock ratio (31.52 -> 19.41 µs).
+	pii := collect(t, "ST-Apache", 150000).K.Meter().Hist
+	d, _ := ByName("ST-Apache")
+	xeon := d.Make(1, cpu.PentiumIII500())
+	xeon.Collect(150000, sim.Second, 60*sim.Second)
+	hx := xeon.K.Meter().Hist
+	ratio := hx.Mean() / pii.Mean()
+	if ratio < 0.5 || ratio > 0.8 {
+		t.Errorf("Xeon/PII mean ratio = %.2f, want ~0.6 (paper: 19.41/31.52 = 0.62)", ratio)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int64, float64) {
+		d, _ := ByName("ST-kernel-build")
+		r := d.Make(7, cpu.PentiumII300())
+		r.Collect(50000, 100*sim.Millisecond, 30*sim.Second)
+		return r.K.Meter().N(), r.K.Meter().Hist.Mean()
+	}
+	n1, m1 := run()
+	n2, m2 := run()
+	if n1 != n2 || m1 != m2 {
+		t.Fatalf("workload runs nondeterministic: (%d,%v) vs (%d,%v)", n1, m1, n2, m2)
+	}
+}
