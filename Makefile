@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all check vet build test race bench stbench clean
+
+all: check
+
+# The full gate: everything CI runs.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine pool and the parallel experiment runner are the
+# concurrency-sensitive packages; run them under the race detector.
+race:
+	$(GO) test -race ./internal/sim ./internal/experiments
+
+# Engine hot-path microbenchmarks (allocation counts included).
+bench:
+	$(GO) test -bench 'BenchmarkEngine' -benchmem -run '^$$' ./internal/sim
+
+stbench:
+	$(GO) build -o stbench ./cmd/stbench
+
+clean:
+	rm -f stbench

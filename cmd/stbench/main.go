@@ -6,17 +6,27 @@
 //
 //	stbench -exp table1            # one experiment at quick scale
 //	stbench -exp all -scale full   # the whole evaluation at paper scale
+//	stbench -exp all -parallel 8   # fan independent experiments/rows
+//	                               # across 8 workers (output unchanged)
+//	stbench -exp all -json out.json  # machine-readable perf record
 //
 // Experiments: fig2, fig3 (alias of fig2), sec52, table1 (incl. figure 4),
 // fig5, table2, fig6, table3, table4, table5, table6, table7, table8,
 // delaydist (§3's d distribution), sec510 (useful-range analysis),
 // ablation-wheel, ablation-idle, ablation-pollution, all.
+//
+// Every experiment builds its own simulation engine per measurement, so
+// -parallel N fans them (and the sweep rows inside them) across N
+// goroutines; results are reassembled in deterministic order and the
+// printed tables are byte-identical at any -parallel setting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -24,39 +34,29 @@ import (
 	"softtimers/internal/experiments"
 )
 
-type runner func(sc experiments.Scale) *experiments.Table
-
-var registry = map[string]runner{
-	"fig2":   func(sc experiments.Scale) *experiments.Table { return experiments.RunFig2(sc).Table() },
-	"sec52":  func(sc experiments.Scale) *experiments.Table { return experiments.RunSec52(sc).Table() },
-	"table1": func(sc experiments.Scale) *experiments.Table { return experiments.RunTable1(sc).Table() },
-	"fig5":   func(sc experiments.Scale) *experiments.Table { return experiments.RunFig5(sc).Table() },
-	"table2": func(sc experiments.Scale) *experiments.Table { return experiments.RunTable2(sc).Table() },
-	"fig6":   func(sc experiments.Scale) *experiments.Table { return experiments.RunFig6(sc).Table() },
-	"table3": func(sc experiments.Scale) *experiments.Table { return experiments.RunTable3(sc).Table() },
-	"table4": func(sc experiments.Scale) *experiments.Table { return experiments.RunPacing(sc, 40).Table() },
-	"table5": func(sc experiments.Scale) *experiments.Table { return experiments.RunPacing(sc, 60).Table() },
-	"table6": func(sc experiments.Scale) *experiments.Table { return experiments.RunWAN(sc, 50).Table() },
-	"table7": func(sc experiments.Scale) *experiments.Table { return experiments.RunWAN(sc, 100).Table() },
-	"table8": func(sc experiments.Scale) *experiments.Table { return experiments.RunTable8(sc).Table() },
-	// Beyond the paper's figures: Section 5.10's useful-range analysis
-	// and ablations of this reproduction's own design choices.
-	"sec510":             func(sc experiments.Scale) *experiments.Table { return experiments.RunUsefulRange(sc).Table() },
-	"delaydist":          func(sc experiments.Scale) *experiments.Table { return experiments.RunDelayDist(sc).Table() },
-	"ablation-wheel":     func(sc experiments.Scale) *experiments.Table { return experiments.RunWheelAblation(sc).Table() },
-	"ablation-idle":      func(sc experiments.Scale) *experiments.Table { return experiments.RunIdleAblation(sc).Table() },
-	"ablation-pollution": func(sc experiments.Scale) *experiments.Table { return experiments.RunPollutionAblation(sc).Table() },
+// jsonRecord is the -json output: one BENCH_results.json-style record
+// tracking the perf trajectory of the reproduction across PRs.
+type jsonRecord struct {
+	Scale       string           `json:"scale"`
+	Parallel    int              `json:"parallel"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	TotalWallMS float64          `json:"total_wall_ms"`
+	Experiments []jsonExperiment `json:"experiments"`
 }
 
-// order fixes the presentation sequence for -exp all.
-var order = []string{"fig2", "sec52", "table1", "fig5", "table2", "fig6",
-	"table3", "table4", "table5", "table6", "table7", "table8",
-	"delaydist", "sec510", "ablation-wheel", "ablation-idle", "ablation-pollution"}
+type jsonExperiment struct {
+	Name    string             `json:"name"`
+	WallMS  float64            `json:"wall_ms"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (fig2, sec52, table1, fig5, table2, fig6, table3..table8, all)")
 	scale := flag.String("scale", "quick", "experiment scale: quick or full (paper-size)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"worker count for independent experiments and sweep rows (1 = fully serial)")
+	jsonPath := flag.String("json", "", "also write a machine-readable results record to this file")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -70,6 +70,7 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Seed = *seed
+	sc.Workers = *parallel
 
 	name := strings.ToLower(*exp)
 	if name == "fig3" || name == "fig4" {
@@ -79,23 +80,52 @@ func main() {
 	}
 	var names []string
 	if name == "all" {
-		names = order
-	} else if _, ok := registry[name]; ok {
+		names = experiments.Order
+	} else if _, ok := experiments.Lookup(name); ok {
 		names = []string{name}
 	} else {
-		known := make([]string, 0, len(registry))
-		for k := range registry {
-			known = append(known, k)
-		}
+		known := experiments.Names()
 		sort.Strings(known)
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s, all\n", *exp, strings.Join(known, ", "))
 		os.Exit(2)
 	}
 
-	for _, n := range names {
-		start := time.Now()
-		table := registry[n](sc)
-		fmt.Println(table.Render())
-		fmt.Printf("(%s completed in %v)\n\n", n, time.Since(start).Round(time.Millisecond))
+	start := time.Now()
+	results := experiments.RunParallel(sc, names, *parallel)
+	total := time.Since(start)
+
+	for _, r := range results {
+		fmt.Println(r.Table.Render())
+		fmt.Printf("(%s completed in %v)\n\n", r.Name, r.Wall.Round(time.Millisecond))
 	}
+	fmt.Printf("total: %d experiment(s) in %v (parallel=%d)\n",
+		len(results), total.Round(time.Millisecond), *parallel)
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, *scale, *parallel, total, results); err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeJSON(path, scale string, parallel int, total time.Duration, results []experiments.Result) error {
+	rec := jsonRecord{
+		Scale:       scale,
+		Parallel:    parallel,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		TotalWallMS: float64(total.Microseconds()) / 1000,
+	}
+	for _, r := range results {
+		rec.Experiments = append(rec.Experiments, jsonExperiment{
+			Name:    r.Name,
+			WallMS:  float64(r.Wall.Microseconds()) / 1000,
+			Metrics: r.Table.Metrics,
+		})
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"softtimers/internal/core"
 	"softtimers/internal/cpu"
@@ -36,8 +37,10 @@ type WheelAblationResult struct {
 // the facility is insensitive to the timer structure (the paper's footnote
 // 2 choice of timing wheels is about constant-factor cost, not behaviour).
 func RunWheelAblation(sc Scale) *WheelAblationResult {
-	res := &WheelAblationResult{}
-	for _, hier := range []bool{false, true} {
+	variants := []bool{false, true} // hierarchical?
+	res := &WheelAblationResult{Rows: make([]WheelAblationRow, len(variants))}
+	forEach(sc.Workers, len(variants), func(i int) {
+		hier := variants[i]
 		name := "hashed"
 		if hier {
 			name = "hierarchical"
@@ -55,14 +58,14 @@ func RunWheelAblation(sc Scale) *WheelAblationResult {
 		tb.F.ScheduleSoftEvent(0, rearm)
 		r := tb.Run(sc.Warmup, sc.Measure)
 		st := tb.F.Stats()
-		res.Rows = append(res.Rows, WheelAblationRow{
+		res.Rows[i] = WheelAblationRow{
 			Structure:   name,
 			Throughput:  r.Throughput,
 			MeanDelayUS: tb.F.DelayHist.Mean(),
 			Checks:      st.Checks,
 			Fired:       st.Fired,
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -72,11 +75,13 @@ func (r *WheelAblationResult) Table() *Table {
 		Title:   "Ablation — timer structure backing the facility (busy Apache, max-rate event)",
 		Columns: []string{"structure", "xput (conn/s)", "mean delay (us)", "checks", "fired"},
 	}
+	t.Metrics = map[string]float64{}
 	for _, row := range r.Rows {
 		t.Rows = append(t.Rows, []string{
 			row.Structure, f0(row.Throughput), f2(row.MeanDelayUS),
 			fmt.Sprintf("%d", row.Checks), fmt.Sprintf("%d", row.Fired),
 		})
+		t.Metrics[row.Structure+"_conn_per_s"] = row.Throughput
 	}
 	return t
 }
@@ -109,7 +114,9 @@ func RunIdleAblation(sc Scale) *IdleAblationResult {
 		{"halt-when-quiet", true, true},
 		{"halt-always", false, false},
 	}
-	for _, pol := range policies {
+	res.Rows = make([]IdleAblationRow, len(policies))
+	forEach(sc.Workers, len(policies), func(i int) {
+		pol := policies[i]
 		eng := sim.NewEngine(sc.Seed)
 		k := kernel.New(eng, cpu.PentiumII300(), kernel.Options{
 			IdleLoop: pol.idleLoop,
@@ -132,13 +139,13 @@ func RunIdleAblation(sc Scale) *IdleAblationResult {
 		}
 		f.ScheduleSoftEvent(50, rearm)
 		eng.RunFor(sim.Time(limit) * 120 * sim.Microsecond)
-		res.Rows = append(res.Rows, IdleAblationRow{
+		res.Rows[i] = IdleAblationRow{
 			Policy:      pol.name,
 			MeanDelayUS: f.DelayHist.Mean(),
 			IdlePolls:   k.Meter().BySource[kernel.SrcIdle],
 			IdleHalts:   k.Accounting().IdleHalts,
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -152,11 +159,13 @@ func (r *IdleAblationResult) Table() *Table {
 			"events pend (paper's rule); halt-always: delay degrades to the 1ms backup tick",
 		},
 	}
+	t.Metrics = map[string]float64{}
 	for _, row := range r.Rows {
 		t.Rows = append(t.Rows, []string{
 			row.Policy, f2(row.MeanDelayUS),
 			fmt.Sprintf("%d", row.IdlePolls), fmt.Sprintf("%d", row.IdleHalts),
 		})
+		t.Metrics[strings.ReplaceAll(row.Policy, "-", "_")+"_delay_us"] = row.MeanDelayUS
 	}
 	return t
 }
@@ -174,25 +183,25 @@ type PollutionAblationResult struct {
 // with the pollution penalty zeroed, isolating the paper's claim that the
 // *locality shift*, not register save/restore, dominates interrupt cost.
 func RunPollutionAblation(sc Scale) *PollutionAblationResult {
-	run := func(polluted bool) float64 {
+	// Four independent testbeds: {polluted, unpolluted} x {base, HW-paced}.
+	xputs := make([]float64, 4)
+	forEach(sc.Workers, len(xputs), func(i int) {
 		prof := cpu.PentiumII300()
-		if !polluted {
+		if i >= 2 { // unpolluted pair
 			prof.IntrPollution = 1 // ~zero; keep schedulable
 			prof.CtxPollution = 1
 		}
-		base := httpserv.NewTestbed(httpserv.TestbedConfig{
-			Seed: sc.Seed, Profile: prof,
-			Server: httpserv.Config{Kind: httpserv.Flash},
-		}).Run(sc.Warmup, sc.Measure)
-		hw := httpserv.NewTestbed(httpserv.TestbedConfig{
-			Seed: sc.Seed, Profile: prof,
-			Server: httpserv.Config{Kind: httpserv.Flash, TxMode: httpserv.TxHWPaced},
-		}).Run(sc.Warmup, sc.Measure)
-		return 1 - hw.Throughput/base.Throughput
-	}
+		cfg := httpserv.Config{Kind: httpserv.Flash}
+		if i%2 == 1 {
+			cfg.TxMode = httpserv.TxHWPaced
+		}
+		xputs[i] = httpserv.NewTestbed(httpserv.TestbedConfig{
+			Seed: sc.Seed, Profile: prof, Server: cfg,
+		}).Run(sc.Warmup, sc.Measure).Throughput
+	})
 	return &PollutionAblationResult{
-		HWOverheadWith:    run(true),
-		HWOverheadWithout: run(false),
+		HWOverheadWith:    1 - xputs[1]/xputs[0],
+		HWOverheadWithout: 1 - xputs[3]/xputs[2],
 	}
 }
 
@@ -206,6 +215,10 @@ func (r *PollutionAblationResult) Table() *Table {
 		}},
 		Notes: []string{
 			"the paper's core cost claim: locality loss, not state save/restore, dominates",
+		},
+		Metrics: map[string]float64{
+			"hw_overhead_polluted":   r.HWOverheadWith,
+			"hw_overhead_unpolluted": r.HWOverheadWithout,
 		},
 	}
 }
@@ -230,23 +243,25 @@ type UsefulRangeResult struct {
 
 // RunUsefulRange computes both ends of the range for each CPU profile.
 func RunUsefulRange(sc Scale) *UsefulRangeResult {
-	res := &UsefulRangeResult{}
 	apache, err := workloads.ByName("ST-Apache")
 	if err != nil {
 		panic(err)
 	}
-	for _, prof := range []cpu.Profile{cpu.PentiumII300(), cpu.PentiumIII500(), cpu.Alpha500()} {
+	profs := []cpu.Profile{cpu.PentiumII300(), cpu.PentiumIII500(), cpu.Alpha500()}
+	res := &UsefulRangeResult{Rows: make([]UsefulRangeRow, len(profs))}
+	forEach(sc.Workers, len(profs), func(i int) {
+		prof := profs[i]
 		rig := apache.Make(sc.Seed, prof)
 		rig.Collect(sc.Samples/4, sc.Warmup, 600e9)
 		mean := rig.K.Meter().Hist.Mean()
 		// 10% overhead floor: period p where IntrTotal/p = 0.10.
 		floor := prof.IntrTotal().Micros() / 0.10
-		res.Rows = append(res.Rows, UsefulRangeRow{
+		res.Rows[i] = UsefulRangeRow{
 			Profile:       prof.Name,
 			TriggerMeanUS: mean,
 			HWFloorUS:     floor,
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -260,11 +275,14 @@ func (r *UsefulRangeResult) Table() *Table {
 			"a hardware timer becomes affordable (coarse end); the ratio widens on faster CPUs",
 		},
 	}
+	t.Metrics = map[string]float64{}
 	for _, row := range r.Rows {
 		t.Rows = append(t.Rows, []string{
 			row.Profile, f2(row.TriggerMeanUS), f1(row.HWFloorUS),
 			f1(row.HWFloorUS / row.TriggerMeanUS),
 		})
+		t.Metrics["range_ratio_"+strings.ReplaceAll(strings.ToLower(row.Profile), " ", "_")] =
+			row.HWFloorUS / row.TriggerMeanUS
 	}
 	return t
 }

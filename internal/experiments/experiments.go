@@ -33,6 +33,12 @@ type Scale struct {
 	WANTransfers []int64
 	// FreqStepKHz is the frequency step for Figures 2 and 3.
 	FreqStepKHz int
+	// Workers bounds row-level parallelism inside drivers: independent
+	// sweep rows (frequency points, workloads, transfer sizes, quota
+	// settings) run on up to Workers goroutines, each with its own
+	// engine. 0 or 1 runs rows serially. Results are assembled in index
+	// order, so output is identical at any setting.
+	Workers int
 }
 
 // FullScale reproduces the paper's experiment sizes.
@@ -68,6 +74,10 @@ type Table struct {
 	Rows    [][]string
 	// Notes carries paper-comparison remarks.
 	Notes []string
+	// Metrics carries the experiment's headline quantities in
+	// machine-readable form for the -json perf-trajectory record. Keys
+	// are stable snake_case names; not rendered in the text table.
+	Metrics map[string]float64
 }
 
 // Render formats the table for terminal output.

@@ -82,5 +82,9 @@ func (r *Fig5Result) Table() *Table {
 		Notes: []string{
 			"paper: 1ms medians mostly 14-26us with <1.13% above 40us; 10ms medians in a narrow 17-19us band",
 		},
+		Metrics: map[string]float64{
+			"frac_1ms_medians_above_40us": r.Frac1msAbove40,
+			"10ms_median_spread_us":       r.Max10 - r.Min10,
+		},
 	}
 }

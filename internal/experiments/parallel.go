@@ -1,0 +1,85 @@
+// Parallel experiment orchestration. Every driver in this package builds
+// its own sim.Engine per measurement (one engine per seed, no shared
+// state), so whole experiments — and the independent sweep rows inside
+// them — are embarrassingly parallel. This file provides the worker-pool
+// plumbing: forEach fans independent index-addressed tasks across
+// goroutines with results written to fixed slots, so assembly order (and
+// therefore every rendered table) is byte-identical to a serial run.
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// forEach runs fn(i) for every i in [0, n), fanning across at most
+// workers goroutines. workers <= 1 runs serially on the calling
+// goroutine. Tasks must be independent and must communicate results only
+// through their own index (e.g. writing rows[i]); forEach guarantees all
+// tasks have completed before it returns, so no synchronization beyond
+// the index discipline is needed.
+//
+// Nested calls (a parallel driver invoked from the parallel top-level
+// runner) simply multiply goroutines; they are CPU-bound and the Go
+// scheduler time-slices them, so oversubscription costs little and
+// determinism is unaffected.
+func forEach(workers, n int, fn func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Result is one experiment's outcome with its wall-clock cost, as
+// produced by RunParallel and consumed by stbench's -json trajectory
+// record.
+type Result struct {
+	Name  string
+	Table *Table
+	Wall  time.Duration
+}
+
+// RunParallel runs the named experiments across at most workers
+// goroutines, one independent simulation substrate per experiment, and
+// returns results in the order the names were given — the output is
+// byte-identical to running the same names serially. workers <= 1
+// reproduces the serial behavior exactly. Row-level parallelism inside
+// each driver is governed separately by sc.Workers.
+//
+// Unknown names panic: the caller (stbench, tests) validates names
+// against Lookup first, so an unknown name here is a programming error.
+func RunParallel(sc Scale, names []string, workers int) []Result {
+	results := make([]Result, len(names))
+	forEach(workers, len(names), func(i int) {
+		run, ok := Lookup(names[i])
+		if !ok {
+			panic("experiments: unknown experiment " + names[i])
+		}
+		start := time.Now()
+		table := run(sc)
+		results[i] = Result{Name: names[i], Table: table, Wall: time.Since(start)}
+	})
+	return results
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// tinyScale keeps the determinism tests fast while still running real
+// multi-row experiments end to end.
+func tinyScale() Scale {
+	sc := QuickScale()
+	sc.Samples = 30_000
+	sc.Warmup = sc.Warmup / 2
+	sc.Measure = sc.Measure / 2
+	sc.WANTransfers = []int64{5, 100}
+	sc.FreqStepKHz = 50
+	return sc
+}
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 57
+		counts := make([]atomic.Int32, n)
+		forEach(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+	ran := false
+	forEach(4, 1, func(i int) { ran = true }) // n==1 runs inline
+	if !ran {
+		t.Fatal("forEach skipped a single-element range")
+	}
+	forEach(4, 0, func(i int) { t.Fatal("forEach ran a task for n=0") })
+}
+
+// The acceptance bar for the parallel runner: rendered experiment tables
+// must be byte-identical between a fully serial run and a fanned-out run
+// with the same seed, for both the top-level experiment fan-out and the
+// row-level splits inside fig2 and table1.
+func TestParallelRunMatchesSerialByteForByte(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full multi-experiment sweeps")
+	}
+	names := []string{"fig2", "table1"}
+
+	serialSc := tinyScale()
+	serialSc.Workers = 1
+	serial := RunParallel(serialSc, names, 1)
+
+	parSc := tinyScale()
+	parSc.Workers = 4 // row-level fan-out inside each driver
+	par := RunParallel(parSc, names, 2)
+
+	if len(serial) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i].Name != par[i].Name {
+			t.Fatalf("result %d: name %q (serial) vs %q (parallel): order not preserved",
+				i, serial[i].Name, par[i].Name)
+		}
+		s, p := serial[i].Table.Render(), par[i].Table.Render()
+		if s != p {
+			t.Errorf("%s: parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				serial[i].Name, s, p)
+		}
+	}
+}
+
+func TestRunParallelPreservesNameOrder(t *testing.T) {
+	sc := tinyScale()
+	sc.Samples = 5_000
+	names := []string{"ablation-idle", "sec510"}
+	results := RunParallel(sc, names, 2)
+	for i, r := range results {
+		if r.Name != names[i] {
+			t.Fatalf("result %d = %q, want %q", i, r.Name, names[i])
+		}
+		if r.Table == nil || len(r.Table.Rows) == 0 {
+			t.Fatalf("%s: empty table", r.Name)
+		}
+		if r.Wall <= 0 {
+			t.Fatalf("%s: non-positive wall time %v", r.Name, r.Wall)
+		}
+	}
+}
+
+func TestRegistryCoversOrder(t *testing.T) {
+	if len(Names()) != len(Order) {
+		t.Fatalf("registry has %d entries, Order lists %d", len(Names()), len(Order))
+	}
+	for _, n := range Order {
+		if _, ok := Lookup(n); !ok {
+			t.Fatalf("Order entry %q missing from registry", n)
+		}
+	}
+}

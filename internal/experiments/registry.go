@@ -1,0 +1,50 @@
+package experiments
+
+// The experiment registry: one named entry per figure/table driver, shared
+// by cmd/stbench, the parallel runner, and the determinism tests.
+
+// Runner produces one experiment's rendered table at the given scale.
+type Runner func(sc Scale) *Table
+
+// registry maps experiment names to drivers.
+var registry = map[string]Runner{
+	"fig2":   func(sc Scale) *Table { return RunFig2(sc).Table() },
+	"sec52":  func(sc Scale) *Table { return RunSec52(sc).Table() },
+	"table1": func(sc Scale) *Table { return RunTable1(sc).Table() },
+	"fig5":   func(sc Scale) *Table { return RunFig5(sc).Table() },
+	"table2": func(sc Scale) *Table { return RunTable2(sc).Table() },
+	"fig6":   func(sc Scale) *Table { return RunFig6(sc).Table() },
+	"table3": func(sc Scale) *Table { return RunTable3(sc).Table() },
+	"table4": func(sc Scale) *Table { return RunPacing(sc, 40).Table() },
+	"table5": func(sc Scale) *Table { return RunPacing(sc, 60).Table() },
+	"table6": func(sc Scale) *Table { return RunWAN(sc, 50).Table() },
+	"table7": func(sc Scale) *Table { return RunWAN(sc, 100).Table() },
+	"table8": func(sc Scale) *Table { return RunTable8(sc).Table() },
+	// Beyond the paper's figures: Section 5.10's useful-range analysis
+	// and ablations of this reproduction's own design choices.
+	"sec510":             func(sc Scale) *Table { return RunUsefulRange(sc).Table() },
+	"delaydist":          func(sc Scale) *Table { return RunDelayDist(sc).Table() },
+	"ablation-wheel":     func(sc Scale) *Table { return RunWheelAblation(sc).Table() },
+	"ablation-idle":      func(sc Scale) *Table { return RunIdleAblation(sc).Table() },
+	"ablation-pollution": func(sc Scale) *Table { return RunPollutionAblation(sc).Table() },
+}
+
+// Order fixes the presentation sequence for "all experiments".
+var Order = []string{"fig2", "sec52", "table1", "fig5", "table2", "fig6",
+	"table3", "table4", "table5", "table6", "table7", "table8",
+	"delaydist", "sec510", "ablation-wheel", "ablation-idle", "ablation-pollution"}
+
+// Lookup returns the driver registered under name.
+func Lookup(name string) (Runner, bool) {
+	r, ok := registry[name]
+	return r, ok
+}
+
+// Names returns all registered experiment names, unordered.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	return out
+}

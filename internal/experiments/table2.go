@@ -69,6 +69,10 @@ func (r *Table2Result) Table() *Table {
 			s.String(), pct(r.Fraction[s]), f1(paperTable2[s]) + "%",
 		})
 	}
+	t.Metrics = map[string]float64{
+		"syscall_frac":   r.Fraction[kernel.SrcSyscall],
+		"ip_output_frac": r.Fraction[kernel.SrcIPOutput],
+	}
 	return t
 }
 
@@ -90,7 +94,6 @@ type Fig6Result struct {
 // "system calls and IP packet transmissions are the most important sources
 // of trigger events").
 func RunFig6(sc Scale) *Fig6Result {
-	res := &Fig6Result{}
 	ablate := []struct {
 		label string
 		src   kernel.Source
@@ -102,7 +105,10 @@ func RunFig6(sc Scale) *Fig6Result {
 		{"no ip-output", kernel.SrcIPOutput, true},
 		{"no syscalls", kernel.SrcSyscall, true},
 	}
-	for _, a := range ablate {
+	// One independent testbed per ablated source.
+	res := &Fig6Result{Series: make([]Fig6Series, len(ablate))}
+	forEach(sc.Workers, len(ablate), func(i int) {
+		a := ablate[i]
 		tb := httpserv.NewTestbed(httpserv.TestbedConfig{
 			Seed: sc.Seed,
 			Kernel: kernel.Options{
@@ -114,12 +120,12 @@ func RunFig6(sc Scale) *Fig6Result {
 		rig := &workloads.Rig{Eng: tb.Eng, K: tb.K, F: tb.F, Testbed: tb}
 		rig.Collect(sc.Samples/2, sc.Warmup, 600e9)
 		h := tb.K.Meter().Hist
-		res.Series = append(res.Series, Fig6Series{
+		res.Series[i] = Fig6Series{
 			Removed: a.label,
 			MeanUS:  h.Mean(),
 			CDF:     h.CDF(150),
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -154,6 +160,15 @@ func (r *Fig6Result) Table() *Table {
 		t.Rows = append(t.Rows, []string{
 			s.Removed, f2(s.MeanUS), pct(at(s.CDF, 50)), pct(at(s.CDF, 100)),
 		})
+	}
+	t.Metrics = map[string]float64{}
+	for _, s := range r.Series {
+		switch s.Removed {
+		case "All":
+			t.Metrics["mean_us_all"] = s.MeanUS
+		case "no syscalls":
+			t.Metrics["mean_us_no_syscalls"] = s.MeanUS
+		}
 	}
 	return t
 }

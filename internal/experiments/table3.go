@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"strings"
+
 	"softtimers/internal/httpserv"
 )
 
@@ -25,23 +27,33 @@ type Table3Result struct {
 // timers versus a 50 kHz hardware interrupt timer, for Apache and Flash
 // (Section 5.6). Paper: hardware timers cost 28%/36%; soft timers 2%/6%.
 func RunTable3(sc Scale) *Table3Result {
+	kinds := []httpserv.Kind{httpserv.Apache, httpserv.Flash}
+	modes := []httpserv.TxMode{httpserv.TxBurst, httpserv.TxHWPaced, httpserv.TxSoftPaced}
+	// All (server, transmission-mode) cells are independent testbeds:
+	// flatten the 2x3 grid into one task list and assemble rows after.
+	type cell struct{ xput, intervalUS float64 }
+	cells := make([]cell, len(kinds)*len(modes))
+	forEach(sc.Workers, len(cells), func(i int) {
+		tb := httpserv.NewTestbed(httpserv.TestbedConfig{
+			Seed:   sc.Seed,
+			Server: httpserv.Config{Kind: kinds[i/len(modes)], TxMode: modes[i%len(modes)]},
+		})
+		r := tb.Run(sc.Warmup, sc.Measure)
+		cells[i] = cell{r.Throughput, tb.Server.PacedIntervals.Mean()}
+	})
 	res := &Table3Result{}
-	for _, kind := range []httpserv.Kind{httpserv.Apache, httpserv.Flash} {
-		row := Table3Row{Server: kind.String()}
-		run := func(mode httpserv.TxMode) (float64, float64) {
-			tb := httpserv.NewTestbed(httpserv.TestbedConfig{
-				Seed:   sc.Seed,
-				Server: httpserv.Config{Kind: kind, TxMode: mode},
-			})
-			r := tb.Run(sc.Warmup, sc.Measure)
-			return r.Throughput, tb.Server.PacedIntervals.Mean()
-		}
-		row.Base, _ = run(httpserv.TxBurst)
-		row.HWThroughput, row.HWIntervalUS = run(httpserv.TxHWPaced)
-		row.SoftThroughput, row.SoftIntervalUS = run(httpserv.TxSoftPaced)
-		row.HWOverhead = 1 - row.HWThroughput/row.Base
-		row.SoftOverhead = 1 - row.SoftThroughput/row.Base
-		res.Rows = append(res.Rows, row)
+	for ki, kind := range kinds {
+		base, hw, soft := cells[ki*len(modes)], cells[ki*len(modes)+1], cells[ki*len(modes)+2]
+		res.Rows = append(res.Rows, Table3Row{
+			Server:         kind.String(),
+			Base:           base.xput,
+			HWThroughput:   hw.xput,
+			HWIntervalUS:   hw.intervalUS,
+			SoftThroughput: soft.xput,
+			SoftIntervalUS: soft.intervalUS,
+			HWOverhead:     1 - hw.xput/base.xput,
+			SoftOverhead:   1 - soft.xput/base.xput,
+		})
 	}
 	return res
 }
@@ -57,12 +69,16 @@ func (r *Table3Result) Table() *Table {
 			"paper Flash:  base 1303, HW 827 (36%, 35us), soft 1224 (6%, 24us)",
 		},
 	}
+	t.Metrics = map[string]float64{}
 	for _, row := range r.Rows {
 		t.Rows = append(t.Rows, []string{
 			row.Server, f0(row.Base),
 			f0(row.HWThroughput), pct(row.HWOverhead), f1(row.HWIntervalUS),
 			f0(row.SoftThroughput), pct(row.SoftOverhead), f1(row.SoftIntervalUS),
 		})
+		key := strings.ToLower(row.Server)
+		t.Metrics[key+"_hw_overhead"] = row.HWOverhead
+		t.Metrics[key+"_soft_overhead"] = row.SoftOverhead
 	}
 	return t
 }

@@ -30,19 +30,22 @@ type PacingResult struct {
 // interval swept from 12 µs (1 Gbps line speed) to 35 µs, compared with a
 // hardware timer firing at the target interval.
 func RunPacing(sc Scale, targetUS float64) *PacingResult {
-	res := &PacingResult{TargetUS: targetUS}
 	mins := []float64{12, 15, 20, 25, 30, 35}
-	for i, minUS := range mins {
-		row := PacingRow{MinIntervalUS: minUS}
-		row.SoftAvgUS, row.SoftStdDevUS, row.PacketsSampled =
-			runSoftPacing(sc, targetUS, minUS)
-		if i == 0 {
+	res := &PacingResult{TargetUS: targetUS, Rows: make([]PacingRow, len(mins))}
+	// One soft-pacing run per min-interval row, plus one hardware-timer
+	// run (the extra task index): all on independent rigs.
+	forEach(sc.Workers, len(mins)+1, func(i int) {
+		if i == len(mins) {
 			// The paper reports a single hardware-timer row: the timer
 			// fires at the target interval regardless of burst setting.
-			row.HWAvgUS, row.HWStdDevUS = runHWPacing(sc, targetUS)
+			res.Rows[0].HWAvgUS, res.Rows[0].HWStdDevUS = runHWPacing(sc, targetUS)
+			return
 		}
-		res.Rows = append(res.Rows, row)
-	}
+		row := &res.Rows[i]
+		row.MinIntervalUS = mins[i]
+		row.SoftAvgUS, row.SoftStdDevUS, row.PacketsSampled =
+			runSoftPacing(sc, targetUS, mins[i])
+	})
 	return res
 }
 
@@ -125,6 +128,13 @@ func (r *PacingResult) Table() *Table {
 		t.Rows = append(t.Rows, []string{
 			f0(row.MinIntervalUS), f1(row.SoftAvgUS), f1(row.SoftStdDevUS), hwAvg, hwSD,
 		})
+	}
+	if len(r.Rows) > 0 {
+		t.Metrics = map[string]float64{
+			"soft_avg_us_min12": r.Rows[0].SoftAvgUS,
+			"soft_avg_us_min35": r.Rows[len(r.Rows)-1].SoftAvgUS,
+			"hw_avg_us":         r.Rows[0].HWAvgUS,
+		}
 	}
 	return t
 }

@@ -26,12 +26,14 @@ func (r *WANResult) Table() *Table {
 		Columns: []string{"size (pkts)", "TCP xput (Mbps)", "TCP resp (ms)",
 			"paced xput (Mbps)", "paced resp (ms)", "reduction"},
 	}
+	t.Metrics = map[string]float64{}
 	for _, row := range r.Rows {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", row.Packets),
 			f2(row.RegXputMbps), f1(row.RegRespMS),
 			f2(row.PacedXputMbps), f1(row.PacedRespMS), pct(row.RespReduction),
 		})
+		t.Metrics[fmt.Sprintf("resp_reduction_%dpkt", row.Packets)] = row.RespReduction
 	}
 	t.Notes = append(t.Notes,
 		"paper @50Mbps: 5pkt 496->101ms (79%), 100pkt 1145->124ms (89%), 100k pkt 25432->24863ms (2%)",
@@ -52,10 +54,16 @@ type WANResult struct {
 // at the bottleneck rate using soft timers. Paper: response-time
 // reductions of 2–89%, largest for medium (100-packet) transfers.
 func RunWAN(sc Scale, bottleneckMbps int64) *WANResult {
+	// Every (transfer size, regular|paced) pair is its own engine and WAN
+	// emulator: 2N independent transfers, fanned across sc.Workers.
+	sizes := sc.WANTransfers
+	resps := make([]sim.Time, 2*len(sizes))
+	forEach(sc.Workers, len(resps), func(i int) {
+		resps[i] = runWANTransfer(sc, bottleneckMbps, sizes[i/2], i%2 == 1)
+	})
 	res := &WANResult{BottleneckMbps: bottleneckMbps, RTTMS: 100}
-	for _, n := range sc.WANTransfers {
-		reg := runWANTransfer(sc, bottleneckMbps, n, false)
-		paced := runWANTransfer(sc, bottleneckMbps, n, true)
+	for i, n := range sizes {
+		reg, paced := resps[2*i], resps[2*i+1]
 		row := WANRow{
 			Packets:       n,
 			RegRespMS:     reg.Millis(),

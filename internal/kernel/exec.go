@@ -26,7 +26,7 @@ type segment struct {
 	name      string
 	remaining sim.Time
 	startAt   sim.Time
-	doneEv    *sim.Event
+	doneEv    sim.Event
 	then      func()
 }
 
@@ -141,7 +141,7 @@ func (k *Kernel) preemptSeg() {
 		s.remaining = 0
 	}
 	s.doneEv.Cancel()
-	s.doneEv = nil
+	s.doneEv = sim.Event{}
 	k.seg = nil
 	if k.paused != nil {
 		panic("kernel: double preemption")
@@ -499,7 +499,7 @@ func (k *Kernel) idleTick() {
 // polling. (On real hardware the halt re-evaluation happens on the way
 // back to idle after whatever context scheduled the event.)
 func (k *Kernel) NudgeIdle() {
-	if !k.idle || k.idleEv != nil || !k.opts.IdleLoop {
+	if !k.idle || k.idleEv.Pending() || !k.opts.IdleLoop {
 		return
 	}
 	adv, ok := k.sink.(IdleAdvisor)
@@ -520,8 +520,6 @@ func (k *Kernel) stopIdle() {
 	k.acct.Idle += k.eng.Now() - k.idleSince
 	k.idle = false
 	k.tr(trace.IdleExit, "idle", 0)
-	if k.idleEv != nil {
-		k.idleEv.Cancel()
-		k.idleEv = nil
-	}
+	k.idleEv.Cancel()
+	k.idleEv = sim.Event{}
 }

@@ -234,7 +234,7 @@ type Kernel struct {
 	lastRun    *Proc // last process to own the CPU, for switch-cost checks
 
 	idle      bool
-	idleEv    *sim.Event
+	idleEv    sim.Event
 	idleSince sim.Time
 
 	acct    Accounting

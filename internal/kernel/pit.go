@@ -21,7 +21,7 @@ type PIT struct {
 	running bool
 	pending bool // an interrupt has been raised but not yet serviced
 	n       int64
-	ev      *sim.Event
+	ev      sim.Event
 
 	// Fires counts delivered interrupts; Lost counts merged ticks.
 	Fires int64
@@ -76,10 +76,8 @@ func (p *PIT) Start() {
 // Stop halts the timer.
 func (p *PIT) Stop() {
 	p.running = false
-	if p.ev != nil {
-		p.ev.Cancel()
-		p.ev = nil
-	}
+	p.ev.Cancel()
+	p.ev = sim.Event{}
 }
 
 // Running reports whether the timer is ticking.

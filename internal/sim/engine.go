@@ -1,78 +1,193 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. It is returned by the scheduling methods so
-// callers can cancel it; a fired or canceled Event is inert.
+// event is the engine-owned representation of a scheduled callback. Events
+// are pooled: when one fires or is canceled it is recycled onto the
+// engine's free list, so steady-state scheduling allocates nothing. The
+// gen counter makes recycling safe: every public Event handle snapshots
+// the generation at scheduling time, and a handle whose generation no
+// longer matches is inert.
+type event struct {
+	at    Time
+	seq   uint64 // tie-break: FIFO among events scheduled for the same instant
+	gen   uint64 // bumped on every recycle; stale handles mismatch
+	fn    func()
+	label string
+	index int32 // position in the heap, -1 when not queued
+	eng   *Engine
+}
+
+// Event is a handle to a scheduled callback, returned by the scheduling
+// methods so callers can cancel it. It is a small value type; the zero
+// Event is valid and permanently inert.
+//
+// Lifecycle semantics (explicit, and relied on throughout the kernel and
+// TCP layers):
+//
+//   - A pending event has Pending() == true; Cancel removes it from the
+//     queue and returns true.
+//   - Once the event fires or is canceled it becomes inert: Pending
+//     reports false, Cancel is a no-op returning false (double-Cancel and
+//     Cancel-after-fire are therefore always safe), and the handler
+//     closure is released immediately so it cannot pin memory.
+//   - The underlying storage is recycled for future events; the
+//     generation check guarantees a retained handle can never observe or
+//     disturb the event that reused its slot.
 type Event struct {
-	at     Time
-	seq    uint64 // tie-break: FIFO among events scheduled for the same instant
-	fn     func()
-	index  int // position in the heap, -1 when not queued
-	fired  bool
-	label  string
-	engine *Engine
+	e   *event
+	gen uint64
+	at  Time
 }
 
 // At reports the simulated time the event is (or was) scheduled for.
-func (ev *Event) At() Time { return ev.at }
+func (ev Event) At() Time { return ev.at }
 
 // Pending reports whether the event is still queued.
-func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 }
+func (ev Event) Pending() bool {
+	return ev.e != nil && ev.e.gen == ev.gen && ev.e.index >= 0
+}
 
-// Cancel removes the event from the queue. Canceling a fired, canceled, or
-// nil event is a no-op, so callers need not track event lifetimes precisely.
-func (ev *Event) Cancel() {
-	if ev == nil || ev.index < 0 {
-		return
+// Cancel removes the event from the queue, reporting whether it was still
+// pending. Canceling a fired, canceled, or zero Event is a no-op, so
+// callers need not track event lifetimes precisely.
+func (ev Event) Cancel() bool {
+	e := ev.e
+	if e == nil || e.gen != ev.gen || e.index < 0 {
+		return false
 	}
-	heap.Remove(&ev.engine.queue, ev.index)
+	eng := e.eng
+	eng.queue.remove(int(e.index))
+	eng.release(e)
+	return true
 }
 
-// Label returns the debug label attached at scheduling time (may be empty).
-func (ev *Event) Label() string { return ev.label }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Label returns the debug label attached at scheduling time. It returns ""
+// once the event has fired or been canceled (the label is released with
+// the rest of the event's storage).
+func (ev Event) Label() string {
+	if ev.e != nil && ev.e.gen == ev.gen {
+		return ev.e.label
 	}
-	return q[i].seq < q[j].seq
+	return ""
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// eventQueue is a binary min-heap ordered by (at, seq). It is a concrete
+// implementation — not container/heap — so the hot path pays no interface
+// conversions or indirect Less/Swap calls, and sift operations move the
+// displaced element in a hole rather than swapping pairwise.
+type eventQueue []*event
+
+// before reports whether a orders strictly before b.
+func before(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
+
+func (q *eventQueue) push(ev *event) {
 	*q = append(*q, ev)
+	q.siftUp(len(*q) - 1)
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+
+// popMin removes and returns the earliest event. The caller must know the
+// queue is non-empty.
+func (q *eventQueue) popMin() *event {
+	h := *q
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	*q = h[:n]
+	if n > 0 {
+		h[0] = last
+		last.index = 0
+		q.siftDown(0)
+	}
+	root.index = -1
+	return root
+}
+
+// remove deletes the event at heap position i.
+func (q *eventQueue) remove(i int) {
+	h := *q
+	n := len(h) - 1
+	ev := h[i]
+	last := h[n]
+	h[n] = nil
+	*q = h[:n]
+	if i < n {
+		h[i] = last
+		last.index = int32(i)
+		if !q.siftDown(i) {
+			q.siftUp(i)
+		}
+	}
 	ev.index = -1
-	*q = old[:n-1]
-	return ev
 }
+
+func (q eventQueue) siftUp(i int) {
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if !before(ev, p) {
+			break
+		}
+		q[i] = p
+		p.index = int32(i)
+		i = parent
+	}
+	q[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown restores heap order below i, reporting whether i's element moved.
+func (q eventQueue) siftDown(i int) bool {
+	n := len(q)
+	ev := q[i]
+	i0 := i
+	for {
+		l := 2*i + 1
+		if l >= n || l < 0 { // l < 0 after int overflow
+			break
+		}
+		m := l
+		if r := l + 1; r < n && before(q[r], q[l]) {
+			m = r
+		}
+		c := q[m]
+		if !before(c, ev) {
+			break
+		}
+		q[i] = c
+		c.index = int32(i)
+		i = m
+	}
+	q[i] = ev
+	ev.index = int32(i)
+	return i > i0
+}
+
+// poolChunk is the allocation granularity of the event pool: events are
+// carved out of arrays of this size, so even a cold engine performs one
+// allocation per poolChunk events rather than one per event.
+const poolChunk = 64
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; the simulated kernel is a uniprocessor, as in the paper's
-// testbed, so no locking is needed or wanted.
+// testbed, so no locking is needed or wanted. Distinct Engine instances
+// share no state, so independent simulations may run on concurrent
+// goroutines (the parallel experiment runner relies on this).
 type Engine struct {
 	now     Time
 	queue   eventQueue
 	seq     uint64
 	rng     *RNG
 	stopped bool
+
+	// free is the recycled-event list; chunk is the tail of the current
+	// allocation block being carved into fresh events.
+	free  []*event
+	chunk []event
 
 	// Fired counts events executed since construction, for tests and
 	// progress reporting.
@@ -94,15 +209,47 @@ func (e *Engine) Rand() *RNG { return e.rng }
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// FreeListLen returns the number of recycled events awaiting reuse (for
+// tests and introspection).
+func (e *Engine) FreeListLen() int { return len(e.free) }
+
+// alloc returns a clean event, recycling from the free list when possible.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	if len(e.chunk) == 0 {
+		e.chunk = make([]event, poolChunk)
+	}
+	ev := &e.chunk[0]
+	e.chunk = e.chunk[1:]
+	ev.eng = e
+	ev.index = -1
+	return ev
+}
+
+// release recycles a fired or canceled event. It clears the handler and
+// label so no caller-owned memory is pinned by the pool, and bumps the
+// generation so outstanding handles become inert.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.label = ""
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a modeling bug, and silently clamping would corrupt
 // measured distributions.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	return e.AtLabeled(t, "", fn)
 }
 
 // AtLabeled is At with a debug label attached to the event.
-func (e *Engine) AtLabeled(t Time, label string, fn func()) *Event {
+func (e *Engine) AtLabeled(t Time, label string, fn func()) Event {
 	if fn == nil {
 		panic("sim: schedule of nil func")
 	}
@@ -110,19 +257,38 @@ func (e *Engine) AtLabeled(t Time, label string, fn func()) *Event {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v (label %q)", t, e.now, label))
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn, label: label, engine: e}
-	heap.Push(&e.queue, ev)
-	return ev
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.label = label
+	e.queue.push(ev)
+	return Event{e: ev, gen: ev.gen, at: t}
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	return e.AtLabeled(e.now+d, "", fn)
 }
 
 // AfterLabeled is After with a debug label.
-func (e *Engine) AfterLabeled(d Time, label string, fn func()) *Event {
+func (e *Engine) AfterLabeled(d Time, label string, fn func()) Event {
 	return e.AtLabeled(e.now+d, label, fn)
+}
+
+// fire pops the earliest event, advances the clock, recycles the event's
+// storage, and runs its handler. The caller must know the queue is
+// non-empty and the engine not stopped.
+func (e *Engine) fire() {
+	ev := e.queue.popMin()
+	if ev.at < e.now {
+		panic("sim: time went backwards") // unreachable; guards heap bugs
+	}
+	e.now = ev.at
+	fn := ev.fn
+	e.release(ev) // before fn: handlers often schedule, reusing this slot
+	e.Fired++
+	fn()
 }
 
 // Step fires the earliest pending event, advancing the clock to its time.
@@ -131,23 +297,19 @@ func (e *Engine) Step() bool {
 	if e.stopped || len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	if ev.at < e.now {
-		panic("sim: time went backwards") // unreachable; guards heap bugs
-	}
-	e.now = ev.at
-	ev.fired = true
-	e.Fired++
-	ev.fn()
+	e.fire()
 	return true
 }
 
 // RunUntil fires events in order until the next event would be after t (or
 // the queue drains), then advances the clock to exactly t. This is the main
-// driver for fixed-duration experiments.
+// driver for fixed-duration experiments. The loop is the simulator's
+// hottest path: it re-checks only what a handler can change (stop state,
+// queue head) and pays no per-event function-call indirection beyond the
+// handler itself.
 func (e *Engine) RunUntil(t Time) {
 	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= t {
-		e.Step()
+		e.fire()
 	}
 	if !e.stopped && t > e.now {
 		e.now = t
@@ -159,7 +321,8 @@ func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
 
 // Run fires events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
-	for e.Step() {
+	for !e.stopped && len(e.queue) > 0 {
+		e.fire()
 	}
 }
 

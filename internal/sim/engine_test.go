@@ -75,17 +75,108 @@ func TestCancelPreventsFiring(t *testing.T) {
 	}
 }
 
-func TestCancelIsIdempotentAndNilSafe(t *testing.T) {
+func TestCancelIsIdempotentAndZeroSafe(t *testing.T) {
 	e := NewEngine(1)
 	ev := e.At(10, func() {})
-	ev.Cancel()
-	ev.Cancel() // second cancel must not panic or disturb the queue
-	var nilEv *Event
-	nilEv.Cancel()
+	if !ev.Cancel() {
+		t.Fatal("first Cancel of a pending event must report true")
+	}
+	if ev.Cancel() { // second cancel must not panic or disturb the queue
+		t.Fatal("second Cancel must report false")
+	}
+	var zero Event
+	if zero.Cancel() {
+		t.Fatal("Cancel of the zero Event must report false")
+	}
+	if zero.Pending() {
+		t.Fatal("zero Event must not be pending")
+	}
 	e.At(5, func() {})
 	e.Run()
 	if e.Fired != 1 {
 		t.Fatalf("Fired = %d, want 1", e.Fired)
+	}
+}
+
+// A canceled or fired event's storage is recycled; a retained handle must
+// become inert rather than acting on the event that reused the slot.
+func TestStaleHandleCannotTouchRecycledEvent(t *testing.T) {
+	e := NewEngine(1)
+	old := e.At(10, func() { t.Fatal("canceled event fired") })
+	old.Cancel()
+	if e.FreeListLen() != 1 {
+		t.Fatalf("FreeListLen = %d after cancel, want 1", e.FreeListLen())
+	}
+	fired := false
+	fresh := e.At(20, func() { fired = true }) // reuses old's slot
+	if e.FreeListLen() != 0 {
+		t.Fatalf("FreeListLen = %d after reschedule, want 0 (slot reused)", e.FreeListLen())
+	}
+	if old.Pending() {
+		t.Fatal("stale handle reports pending after its slot was recycled")
+	}
+	if old.Cancel() {
+		t.Fatal("stale handle canceled the event that reused its slot")
+	}
+	if old.Label() != "" {
+		t.Fatalf("stale handle Label = %q, want \"\"", old.Label())
+	}
+	if old.At() != 10 {
+		t.Fatalf("stale handle At = %v, want its own schedule time 10", old.At())
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh event must still be pending")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("fresh event did not fire")
+	}
+}
+
+// Cancel-after-fire is a no-op even while the handler of the same event is
+// running (the event is recycled before its handler executes).
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	e := NewEngine(1)
+	var ev Event
+	inHandler := false
+	ev = e.At(10, func() {
+		inHandler = true
+		if ev.Pending() {
+			t.Error("event reports pending inside its own handler")
+		}
+		if ev.Cancel() {
+			t.Error("Cancel inside the event's own handler reported true")
+		}
+	})
+	e.Run()
+	if !inHandler {
+		t.Fatal("handler did not run")
+	}
+	if ev.Cancel() {
+		t.Fatal("Cancel after fire reported true")
+	}
+}
+
+// Steady-state schedule/fire cycles must recycle a bounded set of event
+// structs instead of allocating per event.
+func TestEventPoolRecycles(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 10_000 {
+			e.After(10, tick)
+		}
+	}
+	e.After(10, tick)
+	e.Run()
+	if e.Fired != 10_000 {
+		t.Fatalf("Fired = %d, want 10000", e.Fired)
+	}
+	if e.FreeListLen() > poolChunk {
+		t.Fatalf("free list grew to %d; steady-state reuse should keep it within one chunk (%d)",
+			e.FreeListLen(), poolChunk)
 	}
 }
 
@@ -281,7 +372,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 	f := func(times []uint16, mask []bool) bool {
 		e := NewEngine(7)
 		fired := make(map[int]bool)
-		var evs []*Event
+		var evs []Event
 		for i, r := range times {
 			i := i
 			evs = append(evs, e.At(Time(r), func() { fired[i] = true }))
@@ -303,32 +394,5 @@ func TestPropertyCancelSubset(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
-	}
-}
-
-func BenchmarkEngineScheduleFire(b *testing.B) {
-	e := NewEngine(1)
-	b.ReportAllocs()
-	var tick func()
-	n := 0
-	tick = func() {
-		n++
-		if n < b.N {
-			e.After(10, tick)
-		}
-	}
-	e.After(10, tick)
-	b.ResetTimer()
-	e.Run()
-}
-
-func BenchmarkEngine1kPendingEvents(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		e := NewEngine(1)
-		for j := 0; j < 1000; j++ {
-			e.At(Time(e.Rand().Intn(1_000_000)), func() {})
-		}
-		e.Run()
 	}
 }

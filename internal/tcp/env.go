@@ -30,10 +30,6 @@ func (e *EngineEnv) Transmit(pkts []*netstack.Packet) {
 	}
 }
 
-type eventCanceler struct{ ev *sim.Event }
+type eventCanceler struct{ ev sim.Event }
 
-func (c eventCanceler) Cancel() bool {
-	pending := c.ev.Pending()
-	c.ev.Cancel()
-	return pending
-}
+func (c eventCanceler) Cancel() bool { return c.ev.Cancel() }
