@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench stbench clean
+.PHONY: all check vet build test race bench metrics-smoke trace-smoke stbench clean
 
 all: check
 
@@ -13,7 +13,7 @@ vet:
 build:
 	$(GO) build ./...
 
-test:
+test: metrics-smoke trace-smoke
 	$(GO) test ./...
 
 # The engine pool and the parallel experiment runner are the
@@ -21,9 +21,23 @@ test:
 race:
 	$(GO) test -race ./internal/sim ./internal/experiments
 
-# Engine hot-path microbenchmarks (allocation counts included).
+# Engine and metrics hot-path microbenchmarks (allocation counts included).
 bench:
 	$(GO) test -bench 'BenchmarkEngine' -benchmem -run '^$$' ./internal/sim
+	$(GO) test -bench 'BenchmarkMetrics' -benchmem -run '^$$' ./internal/metrics
+
+# End-to-end telemetry smoke: dump a real experiment's metrics snapshot and
+# schema-check it.
+metrics-smoke:
+	$(GO) run ./cmd/stbench -exp fig2 -metrics /tmp/stbench-metrics-smoke.json >/dev/null
+	$(GO) run ./cmd/metricscheck /tmp/stbench-metrics-smoke.json
+
+# End-to-end trace smoke: export a Chrome trace and verify it parses as the
+# trace-event format (the golden test covers the exact bytes; this covers
+# the full workload -> tracer -> exporter pipeline).
+trace-smoke:
+	$(GO) run ./cmd/sttrace -workload ST-nfs -mode chrome -n 20000 > /tmp/sttrace-smoke.trace.json
+	$(GO) run ./cmd/tracecheck /tmp/sttrace-smoke.trace.json
 
 stbench:
 	$(GO) build -o stbench ./cmd/stbench

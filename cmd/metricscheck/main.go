@@ -1,0 +1,140 @@
+// Command metricscheck validates a telemetry dump produced by
+// `stbench -metrics <file>`: the top-level shape (experiment name →
+// snapshot), instrument naming, and internal consistency of every
+// snapshot. It is the schema checker behind `make metrics-smoke`.
+//
+// Usage:
+//
+//	stbench -exp fig2 -metrics m.json && metricscheck m.json
+//
+// Exit status 0 means the dump is well-formed; any violation is reported
+// on stderr and exits 1.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"softtimers/internal/metrics"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck <metrics.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	var dump map[string]*metrics.Snapshot
+	if err := json.Unmarshal(data, &dump); err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: not a metrics dump: %v\n", err)
+		os.Exit(1)
+	}
+	if len(dump) == 0 {
+		fmt.Fprintln(os.Stderr, "metricscheck: dump contains no experiments")
+		os.Exit(1)
+	}
+
+	var problems []string
+	report := func(exp, format string, args ...any) {
+		problems = append(problems, exp+": "+fmt.Sprintf(format, args...))
+	}
+
+	exps := make([]string, 0, len(dump))
+	for name := range dump {
+		exps = append(exps, name)
+	}
+	sort.Strings(exps)
+
+	for _, exp := range exps {
+		s := dump[exp]
+		if s == nil {
+			report(exp, "null snapshot")
+			continue
+		}
+		if len(s.Counters) == 0 {
+			report(exp, "snapshot has no counters")
+		}
+		for name, v := range s.Counters {
+			checkName(report, exp, name)
+			// Counters are monotonic counts or accumulated ns; both are
+			// non-negative.
+			if v < 0 {
+				report(exp, "counter %s is negative: %d", name, v)
+			}
+		}
+		for name, g := range s.Gauges {
+			checkName(report, exp, name)
+			if g.Max < g.Value {
+				report(exp, "gauge %s: high-water mark %d below value %d", name, g.Max, g.Value)
+			}
+		}
+		for name, h := range s.Histograms {
+			checkName(report, exp, name)
+			if h.Width <= 0 {
+				report(exp, "histogram %s: non-positive bucket width %v", name, h.Width)
+			}
+			var inBuckets int64
+			prev := -1
+			for _, b := range h.Buckets {
+				if b.Index <= prev {
+					report(exp, "histogram %s: bucket indices not strictly ascending at %d", name, b.Index)
+				}
+				prev = b.Index
+				if b.Index < 0 {
+					report(exp, "histogram %s: negative bucket index %d", name, b.Index)
+				}
+				if b.Count <= 0 {
+					report(exp, "histogram %s: bucket %d has non-positive count %d (empty buckets must be omitted)",
+						name, b.Index, b.Count)
+				}
+				inBuckets += b.Count
+			}
+			if h.Overflow < 0 {
+				report(exp, "histogram %s: negative overflow %d", name, h.Overflow)
+			}
+			if got := inBuckets + h.Overflow; got != h.Count {
+				report(exp, "histogram %s: buckets(%d) + overflow(%d) = %d, but count = %d",
+					name, inBuckets, h.Overflow, got, h.Count)
+			}
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s\n", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("metricscheck: %s ok (%d experiment(s))\n", os.Args[1], len(dump))
+}
+
+// checkName enforces the instrument naming convention: dot-separated
+// lower-case snake_case segments, e.g. "kernel.intr_ns.hardclock".
+func checkName(report func(string, string, ...any), exp, name string) {
+	if name == "" {
+		report(exp, "empty instrument name")
+		return
+	}
+	for _, seg := range strings.Split(name, ".") {
+		if seg == "" {
+			report(exp, "instrument %q has an empty name segment", name)
+			return
+		}
+		for _, r := range seg {
+			ok := r == '_' || r == '+' || r == '-' ||
+				(r >= 'a' && r <= 'z') || (r >= '0' && r <= '9')
+			if !ok {
+				report(exp, "instrument %q: character %q outside [a-z0-9_+-.]", name, r)
+				return
+			}
+		}
+	}
+}

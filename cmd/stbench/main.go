@@ -9,6 +9,8 @@
 //	stbench -exp all -parallel 8   # fan independent experiments/rows
 //	                               # across 8 workers (output unchanged)
 //	stbench -exp all -json out.json  # machine-readable perf record
+//	stbench -exp fig2 -metrics m.json  # full telemetry snapshot dump
+//	stbench -exp fig2 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments: fig2, fig3 (alias of fig2), sec52, table1 (incl. figure 4),
 // fig5, table2, fig6, table3, table4, table5, table6, table7, table8,
@@ -27,11 +29,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
 
 	"softtimers/internal/experiments"
+	"softtimers/internal/metrics"
 )
 
 // jsonRecord is the -json output: one BENCH_results.json-style record
@@ -57,7 +61,25 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(),
 		"worker count for independent experiments and sweep rows (1 = fully serial)")
 	jsonPath := flag.String("json", "", "also write a machine-readable results record to this file")
+	metricsPath := flag.String("metrics", "",
+		"write each experiment's full telemetry snapshot (JSON, deterministic at any -parallel) to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 
 	var sc experiments.Scale
 	switch *scale {
@@ -107,6 +129,43 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, results); err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: writing %s: %v\n", *metricsPath, err)
+			os.Exit(1)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: writing heap profile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+}
+
+// writeMetrics dumps each experiment's telemetry snapshot keyed by
+// experiment name. Snapshots are per-simulation registries merged in row
+// order and JSON map keys sort, so the file is byte-identical at any
+// -parallel setting. Experiments without telemetry are omitted.
+func writeMetrics(path string, results []experiments.Result) error {
+	out := map[string]*metrics.Snapshot{}
+	for _, r := range results {
+		if r.Table.Telemetry != nil {
+			out[r.Name] = r.Table.Telemetry
+		}
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 func writeJSON(path, scale string, parallel int, total time.Duration, results []experiments.Result) error {

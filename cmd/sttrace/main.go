@@ -1,13 +1,15 @@
 // Command sttrace runs one of the paper's workloads on the simulated
-// kernel and dumps trigger-state data as CSV for plotting: either the
-// interval CDF (Figure 4 style), the per-source counts (Table 2 style), or
-// a raw trace of (time, interval, source) samples.
+// kernel and dumps trigger-state data: the interval CDF (Figure 4 style) as
+// CSV, the per-source counts (Table 2 style) as CSV, a raw CSV trace of
+// (time, interval, source) samples, or a full execution trace in Chrome
+// trace-event JSON, loadable in chrome://tracing or Perfetto.
 //
 // Usage:
 //
 //	sttrace -workload ST-Apache -mode cdf      > apache_cdf.csv
 //	sttrace -workload ST-nfs    -mode sources  > nfs_sources.csv
 //	sttrace -workload ST-Flash  -mode trace -n 10000 > flash_trace.csv
+//	sttrace -workload ST-Apache -mode chrome -n 20000 > apache.trace.json
 package main
 
 import (
@@ -19,13 +21,14 @@ import (
 	"softtimers/internal/cpu"
 	"softtimers/internal/kernel"
 	"softtimers/internal/sim"
+	"softtimers/internal/trace"
 	"softtimers/internal/workloads"
 )
 
 func main() {
 	wl := flag.String("workload", "ST-Apache", "workload name (ST-Apache, ST-Apache-compute, ST-Flash, ST-real-audio, ST-nfs, ST-kernel-build)")
-	mode := flag.String("mode", "cdf", "output: cdf, sources, or trace")
-	n := flag.Int64("n", 500000, "number of trigger-interval samples")
+	mode := flag.String("mode", "cdf", "output: cdf, sources, trace, or chrome")
+	n := flag.Int64("n", 500000, "number of trigger-interval samples (chrome: retained trace events)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	xeon := flag.Bool("xeon", false, "use the 500 MHz Pentium III profile instead of the P-II 300")
 	flag.Parse()
@@ -77,8 +80,23 @@ func main() {
 			fmt.Printf("%s,%d,%.6f\n", kernel.Source(s), m.BySource[s],
 				float64(m.BySource[s])/float64(total))
 		}
+	case "chrome":
+		// Record the kernel's execution trace (context switches, idle
+		// periods, interrupts, trigger states) and export the retained
+		// window — the ring keeps the last n events — as trace-event JSON.
+		buf := trace.New(int(*n))
+		rig.K.SetTracer(buf)
+		rig.Collect(*n, sim.Second, 600*sim.Second)
+		if err := buf.WriteChrome(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "sttrace: %v\n", err)
+			os.Exit(1)
+		}
+		if d := buf.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "sttrace: ring retained last %d events (%d earlier dropped; raise -n for more)\n",
+				buf.Len(), d)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q (want cdf, sources, or trace)\n", *mode)
+		fmt.Fprintf(os.Stderr, "unknown mode %q (want cdf, sources, trace, or chrome)\n", *mode)
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,97 @@
+// Command tracecheck validates a Chrome trace-event JSON file as produced
+// by `sttrace -mode chrome` or trace.Buffer.WriteChrome: top-level shape,
+// known phases, balanced begin/end slices per thread, and chronological
+// timestamps. It is the checker behind `make trace-smoke`.
+//
+// Usage:
+//
+//	sttrace -workload ST-nfs -mode chrome > t.json && tracecheck t.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+	var doc struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: not trace-event JSON: %v\n", err)
+		os.Exit(1)
+	}
+
+	var problems []string
+	report := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	if len(doc.TraceEvents) == 0 {
+		report("no trace events")
+	}
+	if u := doc.DisplayTimeUnit; u != "" && u != "ms" && u != "ns" {
+		report("displayTimeUnit %q (the format allows ms or ns)", u)
+	}
+
+	depth := map[int]int{} // per-tid open slice count
+	lastTS := map[int]float64{}
+	for i, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "M":
+			if name, _ := e.Args["name"].(string); name == "" {
+				report("event %d: metadata record without a name arg", i)
+			}
+			continue // metadata is timeless
+		case "B":
+			depth[e.TID]++
+		case "E":
+			depth[e.TID]--
+			if depth[e.TID] < 0 {
+				report("event %d: E without matching B on tid %d", i, e.TID)
+			}
+		case "i", "I", "X":
+		default:
+			report("event %d: unknown phase %q", i, e.Phase)
+		}
+		if e.TS < 0 {
+			report("event %d: negative timestamp %v", i, e.TS)
+		}
+		if prev, seen := lastTS[e.TID]; seen && e.TS < prev {
+			report("event %d: tid %d timestamp %v precedes %v", i, e.TID, e.TS, prev)
+		}
+		lastTS[e.TID] = e.TS
+	}
+	for tid, d := range depth {
+		if d > 0 {
+			report("tid %d: %d begin slice(s) never ended", tid, d)
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s\n", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %s ok (%d events)\n", os.Args[1], len(doc.TraceEvents))
+}

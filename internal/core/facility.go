@@ -26,6 +26,7 @@ package core
 
 import (
 	"softtimers/internal/kernel"
+	"softtimers/internal/metrics"
 	"softtimers/internal/sim"
 	"softtimers/internal/stats"
 	"softtimers/internal/timerwheel"
@@ -59,16 +60,24 @@ type Facility struct {
 	tickDur sim.Time
 	hz      uint64
 
-	// Metrics.
-	checks    int64
-	scheduled int64
-	fired     int64
-	canceled  int64
+	// Telemetry. The facility's counters live on the kernel's metrics
+	// registry (softtimer.checks, softtimer.scheduled, ...); the Stats
+	// method remains as a thin shim reading them, so pre-registry callers
+	// are unaffected. Counter updates are pointer increments — the same
+	// cost as the int64 fields they replaced.
+	checks    *metrics.Counter
+	scheduled *metrics.Counter
+	fired     *metrics.Counter
+	canceled  *metrics.Counter
+	// overshoot tracks the worst observed delay beyond an event's
+	// requested latency, in µs (high-water mark of the DelayHist input).
+	overshoot *metrics.Gauge
 	// FiresBySource counts event firings per trigger source.
 	FiresBySource [kernel.NumSources]int64
 	// DelayHist records, in µs, the delay d = actual - T beyond each
 	// event's scheduled latency — the paper's d ∈ [0, X+1] variable
-	// whose distribution Section 5.3 studies.
+	// whose distribution Section 5.3 studies. It is registered on the
+	// kernel's metrics registry as softtimer.delay_us.
 	DelayHist *stats.Histogram
 
 	// firing guards against re-entrant Trigger during handler execution;
@@ -104,6 +113,18 @@ func New(k *kernel.Kernel, opts Options) *Facility {
 		f.hashed = timerwheel.New(opts.WheelSlots)
 		f.wheel = f.hashed
 	}
+	r := k.Metrics()
+	f.checks = r.Counter("softtimer.checks")
+	f.scheduled = r.Counter("softtimer.scheduled")
+	f.fired = r.Counter("softtimer.fired")
+	f.canceled = r.Counter("softtimer.canceled")
+	f.overshoot = r.Gauge("softtimer.overshoot_max_us")
+	r.Adopt("softtimer.delay_us", f.DelayHist)
+	r.GaugeFunc("softtimer.pending", func() int64 { return int64(f.wheel.Len()) })
+	for s := kernel.Source(0); int(s) < kernel.NumSources; s++ {
+		i := s
+		r.CounterFunc("softtimer.fires."+i.String(), func() int64 { return f.FiresBySource[i] })
+	}
 	k.SetTriggerSink(f)
 	return f
 }
@@ -137,7 +158,7 @@ type Event struct {
 // Cancel removes the event if still pending; reports whether it was.
 func (ev *Event) Cancel() bool {
 	if ev.t.Cancel() {
-		ev.f.canceled++
+		ev.f.canceled.Inc()
 		return true
 	}
 	return false
@@ -154,7 +175,7 @@ func (f *Facility) ScheduleSoftEvent(T uint64, h Handler) *Event {
 	if h == nil {
 		panic("core: ScheduleSoftEvent with nil handler")
 	}
-	f.scheduled++
+	f.scheduled.Inc()
 	now := f.MeasureTime()
 	ev := &Event{f: f, sched: now, T: T}
 	// "+1 accounts for the fact that the time at which the event was
@@ -162,11 +183,12 @@ func (f *Facility) ScheduleSoftEvent(T uint64, h Handler) *Event {
 	deadline := now + T + 1
 	defer f.k.NudgeIdle() // a halted idle CPU may now have a reason to poll
 	ev.t = f.wheel.Schedule(deadline, func(fireTick timerwheel.Tick) {
-		f.fired++
+		f.fired.Inc()
 		f.FiresBySource[f.currentSrc]++
 		// d = actual latency minus T, in ticks; convert to µs.
 		d := float64(fireTick-ev.sched-ev.T) * float64(f.tickDur) / float64(sim.Microsecond)
 		f.DelayHist.Add(d)
+		f.overshoot.SetMax(int64(d)) // worst-case delay, µs (truncated)
 		f.pendingCost += f.k.Profile().SoftCall + h(f.k.Now())
 	})
 	return ev
@@ -183,7 +205,7 @@ func (f *Facility) ScheduleAfter(d sim.Time, h Handler) *Event {
 // when events are due, their execution. Returns the CPU time consumed by
 // handlers (the check itself is accounted via Checks).
 func (f *Facility) Trigger(src kernel.Source, now sim.Time) sim.Time {
-	f.checks++
+	f.checks.Inc()
 	if f.firing {
 		// A handler's own work produced a nested trigger state; the
 		// facility does not recurse (handlers already run back to back).
@@ -217,14 +239,16 @@ type Stats struct {
 	CheckOverhead sim.Time
 }
 
-// Stats returns a snapshot of the facility's counters.
+// Stats returns a snapshot of the facility's counters. It is a thin shim
+// over the metrics registry (the counters live there as softtimer.*); the
+// struct remains for pre-registry callers.
 func (f *Facility) Stats() Stats {
 	return Stats{
-		Checks:        f.checks,
-		Scheduled:     f.scheduled,
-		Fired:         f.fired,
-		Canceled:      f.canceled,
-		CheckOverhead: sim.Time(f.checks) * f.k.Profile().SoftCheck,
+		Checks:        f.checks.Value(),
+		Scheduled:     f.scheduled.Value(),
+		Fired:         f.fired.Value(),
+		Canceled:      f.canceled.Value(),
+		CheckOverhead: sim.Time(f.checks.Value()) * f.k.Profile().SoftCheck,
 	}
 }
 

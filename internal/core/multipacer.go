@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"softtimers/internal/metrics"
 	"softtimers/internal/sim"
 	"softtimers/internal/stats"
 )
@@ -26,6 +27,10 @@ type MultiPacer struct {
 	f     *Facility
 	flows map[int]*pacedFlow
 	ev    *Event
+
+	// Registry counters (shared across multipacers on one kernel).
+	mFires *metrics.Counter // handler invocations
+	mSent  *metrics.Counter // packets transmitted
 }
 
 // pacedFlow is one connection's pacing state.
@@ -43,7 +48,12 @@ type pacedFlow struct {
 
 // NewMultiPacer creates an empty multi-connection pacer on f.
 func NewMultiPacer(f *Facility) *MultiPacer {
-	return &MultiPacer{f: f, flows: make(map[int]*pacedFlow)}
+	r := f.k.Metrics()
+	return &MultiPacer{
+		f: f, flows: make(map[int]*pacedFlow),
+		mFires: r.Counter("pacer.multi_fires"),
+		mSent:  r.Counter("pacer.multi_sent"),
+	}
 }
 
 // AddFlow starts pacing a connection at the given target interval (with
@@ -137,6 +147,7 @@ func (m *MultiPacer) rearm() {
 
 // fire services every due flow with one packet each, then rearms.
 func (m *MultiPacer) fire(now sim.Time) sim.Time {
+	m.mFires.Inc()
 	var cost sim.Time
 	// Deterministic service order: ascending id (map order is random).
 	ids := make([]int, 0, len(m.flows))
@@ -151,6 +162,7 @@ func (m *MultiPacer) fire(now sim.Time) sim.Time {
 		}
 		c, more := fl.transmit(now)
 		cost += c
+		m.mSent.Inc()
 		if fl.sent > 0 {
 			fl.intervals.Add((now - fl.lastSend).Micros())
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"softtimers/internal/metrics"
 	"softtimers/internal/sim"
 	"softtimers/internal/stats"
 )
@@ -44,6 +45,10 @@ type Pacer struct {
 	sent       int64
 	ev         *Event
 	running    bool
+
+	// Registry counters, shared by every pacer on the same kernel.
+	mTrains *metrics.Counter
+	mFires  *metrics.Counter
 }
 
 // NewPacer creates a pacer on f. target and min are intervals (inverse
@@ -55,7 +60,12 @@ func NewPacer(f *Facility, target, min sim.Time, transmit func(now sim.Time) (si
 	if min > target {
 		min = target
 	}
-	return &Pacer{f: f, TargetInterval: target, MinInterval: min, Transmit: transmit}
+	r := f.k.Metrics()
+	return &Pacer{
+		f: f, TargetInterval: target, MinInterval: min, Transmit: transmit,
+		mTrains: r.Counter("pacer.trains"),
+		mFires:  r.Counter("pacer.fires"),
+	}
 }
 
 // Start begins a new packet train: the first transmission is scheduled one
@@ -65,6 +75,7 @@ func (p *Pacer) Start() {
 		return
 	}
 	p.running = true
+	p.mTrains.Inc()
 	p.trainStart = p.f.k.Now()
 	p.lastSend = p.trainStart
 	p.sent = 0
@@ -94,6 +105,7 @@ func (p *Pacer) fire(now sim.Time) sim.Time {
 	if !p.running {
 		return 0
 	}
+	p.mFires.Inc()
 	cost, more := p.Transmit(now)
 	if p.Intervals != nil && p.sent > 0 {
 		p.Intervals.Add((now - p.lastSend).Micros())

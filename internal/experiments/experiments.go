@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"softtimers/internal/metrics"
 	"softtimers/internal/sim"
 )
 
@@ -78,6 +79,28 @@ type Table struct {
 	// machine-readable form for the -json perf-trajectory record. Keys
 	// are stable snake_case names; not rendered in the text table.
 	Metrics map[string]float64
+	// Telemetry, when non-nil, is the experiment's full metrics snapshot:
+	// every row's per-simulation registry snapshot merged in row-index
+	// order, so it is identical at any Workers setting. Dumped by
+	// stbench -metrics; not rendered in the text table.
+	Telemetry *metrics.Snapshot
+}
+
+// mergeTelemetry folds per-row registry snapshots in slice (row-index)
+// order into one experiment-wide snapshot. Nil rows are skipped, and a nil
+// result means no row produced telemetry.
+func mergeTelemetry(snaps []*metrics.Snapshot) *metrics.Snapshot {
+	var out *metrics.Snapshot
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if out == nil {
+			out = metrics.NewSnapshot()
+		}
+		out.Merge(s)
+	}
+	return out
 }
 
 // Render formats the table for terminal output.

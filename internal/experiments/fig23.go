@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"softtimers/internal/httpserv"
+	"softtimers/internal/metrics"
 	"softtimers/internal/sim"
 )
 
@@ -18,6 +19,8 @@ type Fig2Result struct {
 	Rows []Fig2Row
 	// Base is the no-extra-timer throughput.
 	Base float64
+	// Telemetry is the merged per-testbed metrics snapshot.
+	Telemetry *metrics.Snapshot
 }
 
 // RunFig2 measures Apache throughput while an additional hardware interval
@@ -37,6 +40,7 @@ func RunFig2(sc Scale) *Fig2Result {
 	// sc.Workers goroutines and derive the overhead columns from the
 	// khz=0 baseline afterwards.
 	res := &Fig2Result{Rows: make([]Fig2Row, len(freqs))}
+	snaps := make([]*metrics.Snapshot, len(freqs))
 	forEach(sc.Workers, len(freqs), func(i int) {
 		khz := freqs[i]
 		tb := httpserv.NewTestbed(httpserv.TestbedConfig{
@@ -51,7 +55,9 @@ func RunFig2(sc Scale) *Fig2Result {
 		}
 		r := tb.Run(sc.Warmup, sc.Measure)
 		res.Rows[i] = Fig2Row{FreqKHz: khz, Throughput: r.Throughput}
+		snaps[i] = tb.Metrics()
 	})
+	res.Telemetry = mergeTelemetry(snaps)
 	res.Base = res.Rows[0].Throughput // freqs[0] is always 0 kHz
 	for i := range res.Rows {
 		row := &res.Rows[i]
@@ -84,6 +90,7 @@ func (r *Fig2Result) Table() *Table {
 			"us_per_interrupt":    last.PerIntrUS,
 		}
 	}
+	t.Telemetry = r.Telemetry
 	return t
 }
 
@@ -94,6 +101,8 @@ type Sec52Result struct {
 	Overhead       float64 // fractional
 	MeanFireUS     float64 // mean interval between soft event firings
 	Fired          int64
+	// Telemetry merges the baseline and soft-timer testbeds' snapshots.
+	Telemetry *metrics.Snapshot
 }
 
 // RunSec52 schedules a maximal-frequency soft-timer event with a null
@@ -106,12 +115,15 @@ func RunSec52(sc Scale) *Sec52Result {
 	var firstFire, lastFire sim.Time
 	// The baseline and soft-timer testbeds are independent machines; run
 	// them concurrently when workers allow.
+	snaps := make([]*metrics.Snapshot, 2)
 	tasks := []func(){
 		func() {
-			base = httpserv.NewTestbed(httpserv.TestbedConfig{
+			tb := httpserv.NewTestbed(httpserv.TestbedConfig{
 				Seed:   sc.Seed,
 				Server: httpserv.Config{Kind: httpserv.Apache},
-			}).Run(sc.Warmup, sc.Measure)
+			})
+			base = tb.Run(sc.Warmup, sc.Measure)
+			snaps[0] = tb.Metrics()
 		},
 		func() {
 			tb := httpserv.NewTestbed(httpserv.TestbedConfig{
@@ -130,6 +142,7 @@ func RunSec52(sc Scale) *Sec52Result {
 			}
 			tb.F.ScheduleSoftEvent(0, handler)
 			soft = tb.Run(sc.Warmup, sc.Measure)
+			snaps[1] = tb.Metrics()
 		},
 	}
 	forEach(sc.Workers, len(tasks), func(i int) { tasks[i]() })
@@ -139,6 +152,7 @@ func RunSec52(sc Scale) *Sec52Result {
 		SoftThroughput: soft.Throughput,
 		Overhead:       1 - soft.Throughput/base.Throughput,
 		Fired:          fired,
+		Telemetry:      mergeTelemetry(snaps),
 	}
 	if fired > 1 {
 		res.MeanFireUS = (lastFire - firstFire).Micros() / float64(fired-1)
@@ -161,5 +175,6 @@ func (r *Sec52Result) Table() *Table {
 			"overhead":              r.Overhead,
 			"mean_fire_interval_us": r.MeanFireUS,
 		},
+		Telemetry: r.Telemetry,
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"sync/atomic"
 	"testing"
 )
@@ -66,6 +67,46 @@ func TestParallelRunMatchesSerialByteForByte(t *testing.T) {
 		if s != p {
 			t.Errorf("%s: parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
 				serial[i].Name, s, p)
+		}
+	}
+}
+
+// The -metrics acceptance bar: an experiment's merged telemetry snapshot
+// must serialize byte-identically whether its rows ran serially or fanned
+// across workers. Per-row registries are deterministic given the seed and
+// mergeTelemetry folds them in index order, so worker count must not leak
+// into the dump.
+func TestTelemetrySnapshotDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full experiment sweeps")
+	}
+	for _, name := range []string{"sec52", "fig2", "table6"} {
+		run, _ := Lookup(name)
+
+		serialSc := tinyScale()
+		serialSc.Workers = 1
+		serial := run(serialSc).Telemetry
+		if serial == nil {
+			t.Fatalf("%s: no telemetry snapshot", name)
+		}
+
+		parSc := tinyScale()
+		parSc.Workers = 4
+		par := run(parSc).Telemetry
+
+		var sb, pb bytes.Buffer
+		if err := serial.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.WriteJSON(&pb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+			t.Errorf("%s: telemetry differs between Workers=1 and Workers=4:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				name, sb.Bytes(), pb.Bytes())
+		}
+		if len(serial.Counters) == 0 {
+			t.Errorf("%s: snapshot has no counters", name)
 		}
 	}
 }

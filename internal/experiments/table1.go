@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"softtimers/internal/cpu"
+	"softtimers/internal/metrics"
 	"softtimers/internal/stats"
 	"softtimers/internal/workloads"
 )
@@ -24,6 +25,8 @@ type Table1Row struct {
 // Table1Result is Figure 4 + Table 1 (plus the Xeon check row).
 type Table1Result struct {
 	Rows []Table1Row
+	// Telemetry merges every workload rig's metrics snapshot in row order.
+	Telemetry *metrics.Snapshot
 }
 
 // paperTable1 holds the published Table 1 values.
@@ -60,9 +63,11 @@ func RunTable1(sc Scale) *Table1Result {
 	// Each workload rig is its own simulated machine; rows fan across
 	// sc.Workers goroutines and land in Table 1 order by index.
 	res := &Table1Result{Rows: make([]Table1Row, len(specs))}
+	snaps := make([]*metrics.Snapshot, len(specs))
 	forEach(sc.Workers, len(specs), func(i int) {
 		rig := specs[i].make()
 		rig.Collect(sc.Samples, sc.Warmup, 600e9)
+		snaps[i] = rig.K.Metrics().Snapshot()
 		h := rig.K.Meter().Hist
 		res.Rows[i] = Table1Row{
 			Name:     specs[i].name,
@@ -75,6 +80,7 @@ func RunTable1(sc Scale) *Table1Result {
 			Paper:    paperTable1[specs[i].name],
 		}
 	})
+	res.Telemetry = mergeTelemetry(snaps)
 	return res
 }
 
@@ -100,5 +106,6 @@ func (r *Table1Result) Table() *Table {
 			"apache_median_us": r.Rows[0].MedianUS,
 		}
 	}
+	t.Telemetry = r.Telemetry
 	return t
 }

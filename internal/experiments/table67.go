@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"softtimers/internal/metrics"
 	"softtimers/internal/netstack"
 	"softtimers/internal/sim"
 	"softtimers/internal/tcp"
@@ -38,6 +39,7 @@ func (r *WANResult) Table() *Table {
 	t.Notes = append(t.Notes,
 		"paper @50Mbps: 5pkt 496->101ms (79%), 100pkt 1145->124ms (89%), 100k pkt 25432->24863ms (2%)",
 		"paper @100Mbps: 100pkt 1056->112ms (89%), 100k pkt 14235->12601ms (11%)")
+	t.Telemetry = r.Telemetry
 	return t
 }
 
@@ -46,6 +48,10 @@ type WANResult struct {
 	BottleneckMbps int64
 	RTTMS          float64
 	Rows           []WANRow
+	// Telemetry merges every transfer's metrics snapshot. The WAN runs
+	// have no simulated kernel, so each transfer uses a standalone
+	// registry holding the TCP endpoint and emulator link instruments.
+	Telemetry *metrics.Snapshot
 }
 
 // RunWAN measures HTTP-like transfers over the laboratory WAN emulator
@@ -58,10 +64,11 @@ func RunWAN(sc Scale, bottleneckMbps int64) *WANResult {
 	// emulator: 2N independent transfers, fanned across sc.Workers.
 	sizes := sc.WANTransfers
 	resps := make([]sim.Time, 2*len(sizes))
+	snaps := make([]*metrics.Snapshot, 2*len(sizes))
 	forEach(sc.Workers, len(resps), func(i int) {
-		resps[i] = runWANTransfer(sc, bottleneckMbps, sizes[i/2], i%2 == 1)
+		resps[i], snaps[i] = runWANTransfer(sc, bottleneckMbps, sizes[i/2], i%2 == 1)
 	})
-	res := &WANResult{BottleneckMbps: bottleneckMbps, RTTMS: 100}
+	res := &WANResult{BottleneckMbps: bottleneckMbps, RTTMS: 100, Telemetry: mergeTelemetry(snaps)}
 	for i, n := range sizes {
 		reg, paced := resps[2*i], resps[2*i+1]
 		row := WANRow{
@@ -97,10 +104,11 @@ func (d *dispatcher) Deliver(p *netstack.Packet) {
 }
 
 // runWANTransfer performs one request/response exchange and returns the
-// response time: from the client's request transmission to its reception
-// of the final data segment. A persistent connection is assumed
-// established (no handshake), matching the paper's setup.
-func runWANTransfer(sc Scale, bottleneckMbps, packets int64, paced bool) sim.Time {
+// response time — from the client's request transmission to its reception
+// of the final data segment — plus the transfer's telemetry snapshot. A
+// persistent connection is assumed established (no handshake), matching
+// the paper's setup.
+func runWANTransfer(sc Scale, bottleneckMbps, packets int64, paced bool) (sim.Time, *metrics.Snapshot) {
 	eng := sim.NewEngine(sc.Seed + uint64(packets))
 	cfg := tcp.DefaultConfig()
 
@@ -116,6 +124,14 @@ func runWANTransfer(sc Scale, bottleneckMbps, packets int64, paced bool) sim.Tim
 	snd := tcp.NewSender(sndEnv, cfg, 1, packets, paced)
 	rcv := tcp.NewReceiver(rcvEnv, cfg, 1)
 	rcv.Expected = packets
+
+	// No kernel in the WAN rigs — a standalone registry carries the TCP
+	// and link instruments for the -metrics dump.
+	reg := metrics.NewRegistry()
+	snd.RegisterMetrics(reg)
+	rcv.RegisterMetrics(reg)
+	wan.AtoB.RegisterMetrics(reg)
+	wan.BtoA.RegisterMetrics(reg)
 
 	var done sim.Time
 	rcv.OnComplete = func(now sim.Time) { done = now }
@@ -164,5 +180,5 @@ func runWANTransfer(sc Scale, bottleneckMbps, packets int64, paced bool) sim.Tim
 	if done == 0 {
 		panic(fmt.Sprintf("experiments: WAN transfer of %d packets never completed", packets))
 	}
-	return done
+	return done, reg.Snapshot()
 }

@@ -6,6 +6,7 @@ import (
 	"softtimers/internal/core"
 	"softtimers/internal/cpu"
 	"softtimers/internal/kernel"
+	"softtimers/internal/metrics"
 	"softtimers/internal/netstack"
 	"softtimers/internal/nic"
 	"softtimers/internal/sim"
@@ -87,11 +88,13 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	for i := 0; i < cfg.NICCount; i++ {
 		name := fmt.Sprintf("%d", i)
 		downLink := netstack.NewLink(tb.Eng, "down"+name, cfg.LinkBps, cfg.LinkDelay, clientSide)
+		downLink.RegisterMetrics(tb.K.Metrics())
 		nicCfg := cfg.NIC
 		nicCfg.Name = "nic" + name
 		n := nic.New(tb.K, tb.F, nicCfg, downLink)
 		tb.NICs = append(tb.NICs, n)
 		upLinks[i] = netstack.NewLink(tb.Eng, "up"+name, cfg.LinkBps, cfg.LinkDelay, n)
+		upLinks[i].RegisterMetrics(tb.K.Metrics())
 	}
 	tb.NIC = tb.NICs[0]
 
@@ -121,6 +124,12 @@ type Result struct {
 	// MeanTriggerUS is the mean trigger-state interval in µs over the
 	// whole run (warmup included; intervals are stationary).
 	MeanTriggerUS float64
+}
+
+// Metrics snapshots the testbed's telemetry registry (the server kernel's —
+// every layer of the rig registers its instruments there).
+func (tb *Testbed) Metrics() *metrics.Snapshot {
+	return tb.K.Metrics().Snapshot()
 }
 
 // Start spins up the kernel, NIC, server and clients. Run calls it

@@ -42,6 +42,7 @@ func (k *Kernel) Timeout(d sim.Time, work sim.Time, fn func()) *Callout {
 	}
 	c := &Callout{fn: fn, work: work}
 	c.t = k.callouts.wheel.Schedule(uint64(k.tick+ticks), func(timerwheel.Tick) {
+		k.mSoftclock.Inc()
 		k.PostSoftIRQ(ChainStep{Work: c.work, Src: SrcTCPIPOther, Fn: c.fn})
 	})
 	return c

@@ -191,6 +191,8 @@ func (k *Kernel) runIntr(req intrReq) {
 	k.tr(trace.Intr, req.src.String(), 0)
 	dur := k.prof.IntrDirect + k.prof.Work(req.work)
 	k.acct.Intr += dur
+	k.mIntr[req.src].Inc()
+	k.mIntrNS[req.src].Add(int64(dur))
 	k.eng.AfterLabeled(dur, "intr:"+req.src.String(), func() {
 		if req.fn != nil {
 			req.fn() // side effects while interrupts still disabled
@@ -459,6 +461,7 @@ func (k *Kernel) goIdle() {
 	}
 	k.idle = true
 	k.idleSince = k.eng.Now()
+	k.mIdleEnter.Inc()
 	k.tr(trace.IdleEnter, "idle", 0)
 	if !k.opts.IdleLoop {
 		return

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"softtimers/internal/cpu"
+	"softtimers/internal/metrics"
 	"softtimers/internal/sim"
 	"softtimers/internal/stats"
 	"softtimers/internal/trace"
@@ -221,6 +222,18 @@ type Kernel struct {
 	meter  *TriggerMeter
 	tracer *trace.Buffer
 
+	// Telemetry. The kernel owns the simulation's metrics registry; the
+	// soft-timer facility, NICs and links register their instruments on
+	// it. Per-vector interrupt counters are direct (array-indexed pointer
+	// increments on the interrupt path); everything that already has a
+	// counter field (accounting, the trigger meter) joins as a func
+	// instrument evaluated only at snapshot time.
+	m          *metrics.Registry
+	mIntr      [NumSources]*metrics.Counter // interrupts delivered per vector
+	mIntrNS    [NumSources]*metrics.Counter // CPU ns spent per vector (direct cost)
+	mIdleEnter *metrics.Counter             // idle-loop entries
+	mSoftclock *metrics.Counter             // callout (softclock) handler runs
+
 	// Scheduler state.
 	runq    []*Proc
 	running *Proc    // proc owning the CPU (may be paused by an interrupt)
@@ -269,8 +282,62 @@ func New(eng *sim.Engine, prof cpu.Profile, opts Options) *Kernel {
 		k.sirqPollution = prof.IntrPollution / 2
 	}
 	k.callouts = newCalloutWheel()
+	k.initMetrics()
 	return k
 }
+
+// initMetrics builds the kernel's registry and registers the kernel- and
+// engine-level instruments. Called once from New.
+func (k *Kernel) initMetrics() {
+	r := metrics.NewRegistry()
+	k.m = r
+
+	// Engine (event-loop) telemetry: lazily read, no hot-path change.
+	r.CounterFunc("sim.events_fired", func() int64 { return int64(k.eng.Fired) })
+	r.GaugeFunc("sim.events_pending", func() int64 { return int64(k.eng.Pending()) })
+	r.GaugeFunc("sim.heap_depth_hwm", func() int64 { return int64(k.eng.MaxPending()) })
+
+	// Per-vector interrupt delivery counts and direct CPU cost.
+	for s := Source(0); s < numSources; s++ {
+		name := s.String()
+		k.mIntr[s] = r.Counter("kernel.intr." + name)
+		k.mIntrNS[s] = r.Counter("kernel.intr_ns." + name)
+	}
+
+	// Trigger-state visits per source and the interval histogram come from
+	// the meter's existing storage.
+	for s := Source(0); s < numSources; s++ {
+		i := s
+		r.CounterFunc("kernel.trigger."+i.String(), func() int64 { return k.meter.BySource[i] })
+	}
+	r.Adopt("kernel.trigger_interval_us", k.meter.Hist)
+
+	// CPU-time accounting and scheduler activity mirror the Accounting
+	// struct, which stays the public API.
+	r.CounterFunc("kernel.switches", func() int64 { return k.acct.Switches })
+	r.CounterFunc("kernel.syscalls", func() int64 { return k.acct.Syscalls })
+	r.CounterFunc("kernel.traps", func() int64 { return k.acct.Traps })
+	r.CounterFunc("kernel.interrupts", func() int64 { return k.acct.Interrupts })
+	r.CounterFunc("kernel.idle_halts", func() int64 { return k.acct.IdleHalts })
+	r.CounterFunc("kernel.hardclock_ticks", func() int64 { return k.tick })
+	r.CounterFunc("kernel.acct.user_ns", func() int64 { return int64(k.acct.User) })
+	r.CounterFunc("kernel.acct.kernel_ns", func() int64 { return int64(k.acct.Kernel) })
+	r.CounterFunc("kernel.acct.intr_ns", func() int64 { return int64(k.acct.Intr) })
+	r.CounterFunc("kernel.acct.softirq_ns", func() int64 { return int64(k.acct.SoftIRQ) })
+	r.CounterFunc("kernel.acct.ctxswitch_ns", func() int64 { return int64(k.acct.CtxSwitch) })
+	r.CounterFunc("kernel.acct.softtimer_ns", func() int64 { return int64(k.acct.SoftTimer) })
+	r.CounterFunc("kernel.acct.idle_ns", func() int64 { return int64(k.acct.Idle) })
+
+	// Idle entries and softclock (callout) runs have no pre-existing
+	// counter; these are direct, on cold paths.
+	k.mIdleEnter = r.Counter("kernel.idle_entries")
+	k.mSoftclock = r.Counter("kernel.softclock_runs")
+}
+
+// Metrics returns the simulation's telemetry registry. Components built on
+// this kernel (the soft-timer facility, NICs, links, pacers) register
+// their instruments here; snapshot it for the full picture.
+func (k *Kernel) Metrics() *metrics.Registry { return k.m }
 
 // Engine returns the underlying simulation engine.
 func (k *Kernel) Engine() *sim.Engine { return k.eng }

@@ -1,0 +1,434 @@
+// Package metrics is the simulation-wide telemetry registry: typed
+// Counters, Gauges and fixed-bucket Histograms, created once (get-or-create
+// by name) and updated by pointer, so the instrumented hot paths allocate
+// nothing and pay only a pointer increment per update. A Registry belongs
+// to one simulation substrate (one kernel/engine); independent simulations
+// on concurrent goroutines each own their registry, which is what keeps
+// parallel experiment runs deterministic — snapshots depend only on the
+// (seeded, deterministic) simulation state, never on scheduling order.
+//
+// Instruments come in two flavours:
+//
+//   - direct: Counter/Gauge/Histogram values written on the hot path;
+//   - func: CounterFunc/GaugeFunc register a callback over an existing
+//     field (e.g. kernel accounting, NIC counters) evaluated only at
+//     Snapshot time, so pre-existing counters join the registry with zero
+//     hot-path change. This is how the legacy core.Facility.Stats and
+//     kernel.TriggerMeter APIs were migrated: their storage is now
+//     registry-visible while the old accessors remain thin shims.
+//
+// Snapshot produces a deterministic, JSON-serializable view: map keys sort
+// on encoding and histogram buckets are emitted as ascending sparse
+// [index, count] pairs, so two runs of the same seeded simulation produce
+// byte-identical snapshots regardless of worker count or registration
+// order. Merge folds snapshots from independent engines (counters sum,
+// gauges take the maximum, histograms add bucket-wise), which is how
+// multi-row experiments aggregate per-engine telemetry in a
+// parallelism-independent way.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"softtimers/internal/stats"
+)
+
+// Counter is a monotonically increasing int64. All methods are safe on a
+// nil receiver (no-ops), so optionally-instrumented components need no
+// branches at update sites.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n (n may be any sign; use for cost accumulation in ns).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count. A nil counter reads zero.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a point-in-time int64 with a separate high-water mark. Nil-safe
+// like Counter.
+type Gauge struct {
+	name string
+	v    int64
+	max  int64
+}
+
+// Set records the current value and updates the high-water mark.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// SetMax raises the high-water mark without touching the current value.
+func (g *Gauge) SetMax(v int64) {
+	if g != nil && v > g.max {
+		g.max = v
+	}
+}
+
+// Value returns the last Set value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// Name returns the registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram is a fixed-width-bucket histogram (a registered
+// stats.Histogram). Observe is the hot-path entry point; the bucket array
+// is allocated once at registration.
+type Histogram struct {
+	name string
+	h    *stats.Histogram
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h != nil {
+		h.h.Add(v)
+	}
+}
+
+// Underlying returns the backing stats.Histogram for quantile queries.
+func (h *Histogram) Underlying() *stats.Histogram {
+	if h == nil {
+		return nil
+	}
+	return h.h
+}
+
+// Name returns the registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Registry holds one simulation's instruments. It is not safe for
+// concurrent use, matching the single-threaded engine it instruments;
+// distinct engines own distinct registries.
+type Registry struct {
+	counters     map[string]*Counter
+	gauges       map[string]*Gauge
+	hists        map[string]*Histogram
+	funcCounters map[string]func() int64
+	funcGauges   map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:     make(map[string]*Counter),
+		gauges:       make(map[string]*Gauge),
+		hists:        make(map[string]*Histogram),
+		funcCounters: make(map[string]func() int64),
+		funcGauges:   make(map[string]func() int64),
+	}
+}
+
+// checkFresh panics when name is already registered under a different
+// instrument kind — silent aliasing would corrupt snapshots.
+func (r *Registry) checkFresh(name string, except string) {
+	if _, ok := r.counters[name]; ok && except != "counter" {
+		panic(fmt.Sprintf("metrics: %q already registered as a counter", name))
+	}
+	if _, ok := r.gauges[name]; ok && except != "gauge" {
+		panic(fmt.Sprintf("metrics: %q already registered as a gauge", name))
+	}
+	if _, ok := r.hists[name]; ok && except != "histogram" {
+		panic(fmt.Sprintf("metrics: %q already registered as a histogram", name))
+	}
+	if _, ok := r.funcCounters[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered as a counter func", name))
+	}
+	if _, ok := r.funcGauges[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered as a gauge func", name))
+	}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. Components sharing a registry and a name share the counter
+// (e.g. every pacer on one kernel accumulates into pacer.fires).
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkFresh(name, "counter")
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkFresh(name, "gauge")
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket width and count if needed. Width/bucket parameters of
+// an existing registration are not re-checked; the first registration
+// wins.
+func (r *Registry) Histogram(name string, width float64, nbuckets int) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.checkFresh(name, "histogram")
+	h := &Histogram{name: name, h: stats.NewHistogram(width, nbuckets)}
+	r.hists[name] = h
+	return h
+}
+
+// Adopt registers an existing stats.Histogram under name, so legacy
+// histograms (the trigger meter's, the facility's delay histogram) become
+// snapshot-visible without changing their owners' hot paths or public
+// types. Re-adopting the same name replaces the backing histogram.
+func (r *Registry) Adopt(name string, h *stats.Histogram) *Histogram {
+	if h == nil {
+		panic("metrics: Adopt of nil histogram")
+	}
+	if _, ok := r.hists[name]; !ok {
+		r.checkFresh(name, "histogram")
+	}
+	wrapped := &Histogram{name: name, h: h}
+	r.hists[name] = wrapped
+	return wrapped
+}
+
+// CounterFunc registers fn as a lazily-evaluated counter: it is called at
+// Snapshot time only. Registering an existing name replaces the function.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	if fn == nil {
+		panic("metrics: CounterFunc with nil func")
+	}
+	if _, ok := r.funcCounters[name]; !ok {
+		r.checkFresh(name, "")
+	}
+	r.funcCounters[name] = fn
+}
+
+// GaugeFunc registers fn as a lazily-evaluated gauge.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if fn == nil {
+		panic("metrics: GaugeFunc with nil func")
+	}
+	if _, ok := r.funcGauges[name]; !ok {
+		r.checkFresh(name, "")
+	}
+	r.funcGauges[name] = fn
+}
+
+// BucketCount is one non-empty histogram bucket in a snapshot: the bucket
+// index and its observation count, serialized as a two-element array.
+type BucketCount struct {
+	Index int
+	Count int64
+}
+
+// MarshalJSON encodes the pair as [index, count].
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("[%d,%d]", b.Index, b.Count)), nil
+}
+
+// UnmarshalJSON decodes the [index, count] pair.
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var pair [2]int64
+	if err := json.Unmarshal(data, &pair); err != nil {
+		return err
+	}
+	b.Index = int(pair[0])
+	b.Count = pair[1]
+	return nil
+}
+
+// HistogramSnapshot is one histogram's state: fixed bucket width, total
+// observation count, running sum, overflow count, and the non-empty
+// buckets in ascending index order.
+type HistogramSnapshot struct {
+	Width    float64       `json:"width"`
+	Count    int64         `json:"count"`
+	Sum      float64       `json:"sum"`
+	Overflow int64         `json:"overflow"`
+	Buckets  []BucketCount `json:"buckets"`
+}
+
+// GaugeSnapshot is one gauge's state.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// Snapshot is a registry's full state at one instant. JSON encoding is
+// deterministic: map keys sort, buckets are ascending.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]GaugeSnapshot     `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state, evaluating func
+// instruments. The registry keeps running; snapshots are independent
+// copies.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)+len(r.funcCounters)),
+		Gauges:     make(map[string]GaugeSnapshot, len(r.gauges)+len(r.funcGauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.v
+	}
+	for name, fn := range r.funcCounters {
+		s.Counters[name] = fn()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = GaugeSnapshot{Value: g.v, Max: g.max}
+	}
+	for name, fn := range r.funcGauges {
+		v := fn()
+		s.Gauges[name] = GaugeSnapshot{Value: v, Max: v}
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = snapshotHistogram(h.h)
+	}
+	return s
+}
+
+func snapshotHistogram(h *stats.Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Width:    h.Width(),
+		Count:    h.N(),
+		Sum:      h.Sum(),
+		Overflow: h.Overflow(),
+	}
+	for i, n := 0, h.NumBuckets(); i < n; i++ {
+		if c := h.Bucket(i); c > 0 {
+			hs.Buckets = append(hs.Buckets, BucketCount{Index: i, Count: c})
+		}
+	}
+	return hs
+}
+
+// Merge folds other into s: counters sum, gauge values and high-water
+// marks take the maximum, histograms add bucket-wise (widths must match;
+// mismatched widths panic — they indicate two different instruments
+// sharing a name). Merging per-engine snapshots in a fixed order yields
+// the same result at any worker count, since each input is itself
+// deterministic.
+func (s *Snapshot) Merge(other *Snapshot) {
+	if other == nil {
+		return
+	}
+	for name, v := range other.Counters {
+		s.Counters[name] += v
+	}
+	for name, g := range other.Gauges {
+		cur := s.Gauges[name]
+		if g.Value > cur.Value {
+			cur.Value = g.Value
+		}
+		if g.Max > cur.Max {
+			cur.Max = g.Max
+		}
+		s.Gauges[name] = cur
+	}
+	for name, h := range other.Histograms {
+		cur, ok := s.Histograms[name]
+		if !ok {
+			s.Histograms[name] = h
+			continue
+		}
+		if cur.Width != h.Width {
+			panic(fmt.Sprintf("metrics: merging histogram %q with mismatched widths %g and %g",
+				name, cur.Width, h.Width))
+		}
+		s.Histograms[name] = mergeHistogram(cur, h)
+	}
+}
+
+func mergeHistogram(a, b HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Width:    a.Width,
+		Count:    a.Count + b.Count,
+		Sum:      a.Sum + b.Sum,
+		Overflow: a.Overflow + b.Overflow,
+	}
+	byIdx := make(map[int]int64, len(a.Buckets)+len(b.Buckets))
+	for _, bc := range a.Buckets {
+		byIdx[bc.Index] += bc.Count
+	}
+	for _, bc := range b.Buckets {
+		byIdx[bc.Index] += bc.Count
+	}
+	idxs := make([]int, 0, len(byIdx))
+	for i := range byIdx {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		out.Buckets = append(out.Buckets, BucketCount{Index: i, Count: byIdx[i]})
+	}
+	return out
+}
+
+// NewSnapshot returns an empty snapshot, ready to Merge into.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]GaugeSnapshot),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+}
+
+// WriteJSON writes the snapshot as indented JSON. Output is byte-stable
+// for equal snapshots (encoding/json sorts map keys).
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"softtimers/internal/stats"
+)
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x")
+	b := r.Counter("x")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Inc()
+	b.Add(2)
+	if got := r.Counter("x").Value(); got != 3 {
+		t.Fatalf("shared counter = %d, want 3", got)
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.SetMax(2)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Underlying() != nil {
+		t.Fatal("nil instruments must read zero")
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge over a counter name must panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("dup")
+	r.Gauge("dup")
+}
+
+func TestGaugeHighWaterMark(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(5)
+	g.Set(2)
+	if g.Value() != 2 || g.Max() != 5 {
+		t.Fatalf("value/max = %d/%d, want 2/5", g.Value(), g.Max())
+	}
+	g.SetMax(9)
+	if g.Value() != 2 || g.Max() != 9 {
+		t.Fatalf("after SetMax: value/max = %d/%d, want 2/9", g.Value(), g.Max())
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucket-edge behaviour the
+// snapshot schema relies on: a value exactly on a boundary lands in the
+// upper bucket, negatives clamp to bucket 0, and the first out-of-range
+// value overflows.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 10, 3) // buckets [0,10) [10,20) [20,30), overflow >= 30
+	for _, v := range []float64{-5, 0, 9.999, 10, 19.999, 20, 29.999, 30, 1e9} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["h"]
+	want := []BucketCount{{0, 3}, {1, 2}, {2, 2}}
+	if s.Overflow != 2 {
+		t.Fatalf("overflow = %d, want 2", s.Overflow)
+	}
+	if s.Count != 9 {
+		t.Fatalf("count = %d, want 9", s.Count)
+	}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", s.Buckets, want)
+	}
+	for i, bc := range want {
+		if s.Buckets[i] != bc {
+			t.Fatalf("bucket[%d] = %v, want %v", i, s.Buckets[i], bc)
+		}
+	}
+	// Sum is exact, not bucket-quantized (includes the clamped negative).
+	if s.Sum != -5+0+9.999+10+19.999+20+29.999+30+1e9 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+func TestFuncInstruments(t *testing.T) {
+	r := NewRegistry()
+	v := int64(0)
+	r.CounterFunc("lazy.counter", func() int64 { return v })
+	r.GaugeFunc("lazy.gauge", func() int64 { return v * 2 })
+	v = 7
+	s := r.Snapshot()
+	if s.Counters["lazy.counter"] != 7 {
+		t.Fatalf("func counter = %d, want 7 (must evaluate at snapshot time)", s.Counters["lazy.counter"])
+	}
+	if s.Gauges["lazy.gauge"].Value != 14 || s.Gauges["lazy.gauge"].Max != 14 {
+		t.Fatalf("func gauge = %+v, want 14/14", s.Gauges["lazy.gauge"])
+	}
+}
+
+func TestAdoptHistogram(t *testing.T) {
+	r := NewRegistry()
+	legacy := stats.NewHistogram(1, 100)
+	r.Adopt("legacy.hist", legacy)
+	legacy.Add(3)
+	legacy.Add(3.5)
+	s := r.Snapshot().Histograms["legacy.hist"]
+	if s.Count != 2 || len(s.Buckets) != 1 || s.Buckets[0] != (BucketCount{3, 2}) {
+		t.Fatalf("adopted histogram snapshot = %+v", s)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", 1, 10)
+	c.Inc()
+	h.Observe(1)
+	s := r.Snapshot()
+	c.Inc()
+	h.Observe(1)
+	if s.Counters["c"] != 1 || s.Histograms["h"].Count != 1 {
+		t.Fatal("snapshot must not alias live registry state")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	mk := func(n int64) *Snapshot {
+		r := NewRegistry()
+		r.Counter("c").Add(n)
+		r.Gauge("g").Set(n)
+		h := r.Histogram("h", 1, 10)
+		for i := int64(0); i < n; i++ {
+			h.Observe(float64(i))
+		}
+		return r.Snapshot()
+	}
+	total := NewSnapshot()
+	total.Merge(mk(2))
+	total.Merge(mk(5))
+	if total.Counters["c"] != 7 {
+		t.Fatalf("merged counter = %d, want 7", total.Counters["c"])
+	}
+	if total.Gauges["g"].Max != 5 {
+		t.Fatalf("merged gauge max = %d, want 5", total.Gauges["g"].Max)
+	}
+	hs := total.Histograms["h"]
+	if hs.Count != 7 || hs.Sum != 0+1+0+1+2+3+4 {
+		t.Fatalf("merged histogram = %+v", hs)
+	}
+	// Bucket 0 saw one observation from each input, bucket 4 only one.
+	if hs.Buckets[0] != (BucketCount{0, 2}) || hs.Buckets[len(hs.Buckets)-1] != (BucketCount{4, 1}) {
+		t.Fatalf("merged buckets = %v", hs.Buckets)
+	}
+}
+
+func TestMergeWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging histograms of different widths must panic")
+		}
+	}()
+	a, b := NewSnapshot(), NewSnapshot()
+	a.Histograms["h"] = HistogramSnapshot{Width: 1}
+	b.Histograms["h"] = HistogramSnapshot{Width: 2}
+	a.Merge(b)
+}
+
+// TestJSONDeterminism checks that two registries populated in different
+// orders serialize identically, and that the JSON round-trips.
+func TestJSONDeterminism(t *testing.T) {
+	build := func(reverse bool) *Snapshot {
+		r := NewRegistry()
+		names := []string{"alpha", "beta", "gamma"}
+		if reverse {
+			names = []string{"gamma", "beta", "alpha"}
+		}
+		for _, n := range names {
+			r.Counter("c." + n).Add(int64(len(n)))
+			r.Gauge("g." + n).Set(3)
+			r.Histogram("h."+n, 2, 8).Observe(5)
+		}
+		return r.Snapshot()
+	}
+	var a, b bytes.Buffer
+	if err := build(false).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(true).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("registration order changed JSON:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	var back Snapshot
+	if err := json.Unmarshal(a.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["c.alpha"] != 5 {
+		t.Fatalf("round-tripped counter = %d, want 5", back.Counters["c.alpha"])
+	}
+	if got := back.Histograms["h.beta"].Buckets; len(got) != 1 || got[0] != (BucketCount{2, 1}) {
+		t.Fatalf("round-tripped buckets = %v", got)
+	}
+}

@@ -8,6 +8,7 @@
 package netstack
 
 import (
+	"softtimers/internal/metrics"
 	"softtimers/internal/sim"
 )
 
@@ -100,6 +101,17 @@ func NewLink(eng *sim.Engine, name string, bps int64, delay sim.Time, dst Endpoi
 	return &Link{Name: name, eng: eng, bps: bps, delay: delay, dst: dst}
 }
 
+// RegisterMetrics exposes the link's counters on a telemetry registry
+// under link.<Name>. — func instruments over the existing fields, so the
+// packet path is unchanged. Call once per link after construction.
+func (l *Link) RegisterMetrics(r *metrics.Registry) {
+	prefix := "link." + l.Name + "."
+	r.CounterFunc(prefix+"sent", func() int64 { return l.Sent })
+	r.CounterFunc(prefix+"dropped", func() int64 { return l.Dropped })
+	r.CounterFunc(prefix+"bytes", func() int64 { return l.Bytes })
+	r.GaugeFunc(prefix+"queue_hwm", func() int64 { return int64(l.MaxQueued) })
+}
+
 // Bandwidth returns the link rate in bits per second.
 func (l *Link) Bandwidth() int64 { return l.bps }
 
@@ -158,6 +170,13 @@ func NewPath(links ...*Link) *Path {
 		panic("netstack: empty path")
 	}
 	return &Path{links: links}
+}
+
+// RegisterMetrics registers every link on the path with r.
+func (p *Path) RegisterMetrics(r *metrics.Registry) {
+	for _, l := range p.links {
+		l.RegisterMetrics(r)
+	}
 }
 
 // Send transmits on the path's first link.

@@ -22,6 +22,7 @@ package nic
 import (
 	"softtimers/internal/core"
 	"softtimers/internal/kernel"
+	"softtimers/internal/metrics"
 	"softtimers/internal/netstack"
 	"softtimers/internal/sim"
 )
@@ -129,6 +130,12 @@ type NIC struct {
 	Polls                int64
 	PolledPackets        int64
 	batches              int64
+
+	// Telemetry: the public counters above join the kernel's registry as
+	// func instruments; the batch-size histogram and poll-interval gauge
+	// are new registry-native observables.
+	mBatch   *metrics.Histogram // packets per protocol batch (softirq or poll)
+	mPollIvl *metrics.Gauge     // current adaptive poll interval, ns
 }
 
 // New creates a NIC on kernel k. The facility f is required in SoftPoll
@@ -148,7 +155,30 @@ func New(k *kernel.Kernel, f *core.Facility, cfg Config, out netstack.Endpoint) 
 		panic("nic: SoftPoll mode requires a soft-timer facility")
 	}
 	n := &NIC{k: k, f: f, cfg: cfg, out: out, pollIvl: cfg.MinPoll * 4}
+	n.registerMetrics()
 	return n
+}
+
+// registerMetrics joins the kernel's telemetry registry under the
+// nic.<name>. prefix. Unnamed NICs share the bare "nic." namespace — the
+// most recently constructed one wins its func instruments, so name the
+// interfaces in multi-NIC rigs (the testbed does).
+func (n *NIC) registerMetrics() {
+	r := n.k.Metrics()
+	prefix := "nic."
+	if n.cfg.Name != "" {
+		prefix = "nic." + n.cfg.Name + "."
+	}
+	r.CounterFunc(prefix+"rx_packets", func() int64 { return n.RxPackets })
+	r.CounterFunc(prefix+"tx_packets", func() int64 { return n.TxPackets })
+	r.CounterFunc(prefix+"rx_interrupts", func() int64 { return n.RxInterrupts })
+	r.CounterFunc(prefix+"txcompl_interrupts", func() int64 { return n.TxComplInterrupts })
+	r.CounterFunc(prefix+"polls", func() int64 { return n.Polls })
+	r.CounterFunc(prefix+"polled_packets", func() int64 { return n.PolledPackets })
+	// Batch sizes up to 256 packets per protocol pass, 1-packet buckets.
+	n.mBatch = r.Histogram(prefix+"batch_size", 1, 256)
+	n.mPollIvl = r.Gauge(prefix + "poll_interval_ns")
+	n.mPollIvl.Set(int64(n.pollIvl))
 }
 
 // Start begins polling (SoftPoll mode). Call after kernel.Start.
@@ -212,6 +242,7 @@ func (n *NIC) postProtoSoftirq() {
 		batch := n.protoq
 		n.protoq = nil
 		n.soft = false
+		n.mBatch.Observe(float64(len(batch)))
 		proto := make([]kernel.ChainStep, 0, len(batch)+1)
 		for i, p := range batch {
 			p := p
@@ -316,6 +347,7 @@ func (n *NIC) poll(now sim.Time) sim.Time {
 		}
 	}
 	n.PolledPackets += int64(len(batch))
+	n.mBatch.Observe(float64(len(batch)))
 	if n.txdone > 0 {
 		cost += n.cfg.Costs.TxComplWork * sim.Time(n.txdone)
 		n.txdone = 0
@@ -342,4 +374,5 @@ func (n *NIC) adapt(found float64) {
 	if n.pollIvl > n.cfg.MaxPoll {
 		n.pollIvl = n.cfg.MaxPoll
 	}
+	n.mPollIvl.Set(int64(n.pollIvl))
 }

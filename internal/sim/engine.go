@@ -57,6 +57,9 @@ func (ev Event) Cancel() bool {
 		return false
 	}
 	eng := e.eng
+	if n := len(eng.queue); n > eng.maxPending {
+		eng.maxPending = n // depth high-water mark, caught pre-shrink
+	}
 	eng.queue.remove(int(e.index))
 	eng.release(e)
 	return true
@@ -178,11 +181,17 @@ const poolChunk = 64
 // share no state, so independent simulations may run on concurrent
 // goroutines (the parallel experiment runner relies on this).
 type Engine struct {
-	now     Time
-	queue   eventQueue
-	seq     uint64
-	rng     *RNG
-	stopped bool
+	now   Time
+	queue eventQueue
+	seq   uint64
+	// maxPending is the heap-depth high-water mark observed at decrease
+	// points. The true maximum depth is always attained immediately before
+	// some pop/cancel (or is the current depth), so checking only there —
+	// plus the live depth in MaxPending — keeps the schedule hot path free
+	// of any telemetry cost.
+	maxPending int
+	rng        *RNG
+	stopped    bool
 
 	// free is the recycled-event list; chunk is the tail of the current
 	// allocation block being carved into fresh events.
@@ -212,6 +221,17 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // FreeListLen returns the number of recycled events awaiting reuse (for
 // tests and introspection).
 func (e *Engine) FreeListLen() int { return len(e.free) }
+
+// MaxPending returns the heap-depth high-water mark — the largest number
+// of simultaneously queued events the engine has ever held. The standing
+// depth counts: maxPending itself is only refreshed when the queue
+// shrinks.
+func (e *Engine) MaxPending() int {
+	if n := len(e.queue); n > e.maxPending {
+		return n
+	}
+	return e.maxPending
+}
 
 // alloc returns a clean event, recycling from the free list when possible.
 func (e *Engine) alloc() *event {
@@ -280,6 +300,9 @@ func (e *Engine) AfterLabeled(d Time, label string, fn func()) Event {
 // storage, and runs its handler. The caller must know the queue is
 // non-empty and the engine not stopped.
 func (e *Engine) fire() {
+	if n := len(e.queue); n > e.maxPending {
+		e.maxPending = n // depth high-water mark, caught pre-shrink
+	}
 	ev := e.queue.popMin()
 	if ev.at < e.now {
 		panic("sim: time went backwards") // unreachable; guards heap bugs

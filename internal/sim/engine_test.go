@@ -396,3 +396,32 @@ func TestPropertyCancelSubset(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMaxPendingHighWaterMark checks the heap-depth high-water mark the
+// telemetry layer exports: it tracks the deepest the queue ever got, not
+// the current depth.
+func TestMaxPendingHighWaterMark(t *testing.T) {
+	e := NewEngine(1)
+	if e.MaxPending() != 0 {
+		t.Fatalf("fresh engine MaxPending = %d, want 0", e.MaxPending())
+	}
+	for i := 0; i < 10; i++ {
+		e.At(Time(i+1), func() {})
+	}
+	if e.MaxPending() != 10 {
+		t.Fatalf("MaxPending = %d, want 10", e.MaxPending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("queue should have drained")
+	}
+	if e.MaxPending() != 10 {
+		t.Fatalf("MaxPending after drain = %d, want 10 (high-water, not current)", e.MaxPending())
+	}
+	// A shallower refill must not lower the mark.
+	e.At(e.Now()+1, func() {})
+	e.Run()
+	if e.MaxPending() != 10 {
+		t.Fatalf("MaxPending after refill = %d, want 10", e.MaxPending())
+	}
+}

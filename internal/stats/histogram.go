@@ -44,6 +44,21 @@ func (h *Histogram) Add(v float64) {
 // N returns the number of observations.
 func (h *Histogram) N() int64 { return h.n }
 
+// Width returns the bucket width.
+func (h *Histogram) Width() float64 { return h.width }
+
+// NumBuckets returns the number of regular (non-overflow) buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Bucket returns the observation count of bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// Overflow returns the count of observations beyond the last bucket.
+func (h *Histogram) Overflow() int64 { return h.overflow }
+
+// Sum returns the exact running sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
 // Mean returns the exact running mean (not bucket-quantized).
 func (h *Histogram) Mean() float64 {
 	if h.n == 0 {

@@ -13,8 +13,10 @@
 package tcp
 
 import (
+	"fmt"
 	"math"
 
+	"softtimers/internal/metrics"
 	"softtimers/internal/netstack"
 	"softtimers/internal/sim"
 )
@@ -121,6 +123,18 @@ func NewSender(env Env, cfg Config, flow int, total int64, paced bool) *Sender {
 		panic("tcp: negative transfer size")
 	}
 	return &Sender{env: env, cfg: cfg, flow: flow, total: total, cwnd: cfg.InitialCwnd, paced: paced}
+}
+
+// RegisterMetrics exposes the sender's counters on a telemetry registry
+// under tcp.flow<N>.* as func instruments, leaving the segment path
+// untouched. TCP endpoints run on a plain Env (often with no kernel behind
+// it), so registration is opt-in rather than automatic.
+func (s *Sender) RegisterMetrics(r *metrics.Registry) {
+	prefix := fmt.Sprintf("tcp.flow%d.", s.flow)
+	r.CounterFunc(prefix+"segments_sent", func() int64 { return s.SegmentsSent })
+	r.CounterFunc(prefix+"acks_seen", func() int64 { return s.AcksSeen })
+	r.GaugeFunc(prefix+"max_burst", func() int64 { return s.MaxBurst })
+	r.GaugeFunc(prefix+"cwnd", func() int64 { return int64(s.cwnd) })
 }
 
 // Start begins a self-clocked transfer by sending the initial window. For
@@ -307,6 +321,16 @@ type Receiver struct {
 // NewReceiver creates a receiver for flow.
 func NewReceiver(env Env, cfg Config, flow int) *Receiver {
 	return &Receiver{env: env, cfg: cfg, flow: flow}
+}
+
+// RegisterMetrics exposes the receiver's counters on a telemetry registry
+// under tcp.flow<N>.* (complementing Sender.RegisterMetrics on the same
+// prefix).
+func (r *Receiver) RegisterMetrics(reg *metrics.Registry) {
+	prefix := fmt.Sprintf("tcp.flow%d.", r.flow)
+	reg.CounterFunc(prefix+"acks_sent", func() int64 { return r.AcksSent })
+	reg.CounterFunc(prefix+"big_acks", func() int64 { return r.BigAcks })
+	reg.CounterFunc(prefix+"delack_fires", func() int64 { return r.DelAckFires })
 }
 
 // Received returns the cumulative count of in-order segments.

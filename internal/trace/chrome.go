@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"softtimers/internal/sim"
+)
+
+// chromeEvent is one record in the Chrome trace-event ("Trace Event
+// Format") JSON consumed by chrome://tracing and Perfetto. Field order is
+// fixed by the struct so output is byte-deterministic.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Track layout: the CPU's execution timeline (context switches and idle
+// periods, rendered as duration slices) lives on tid 0; every other event
+// kind gets its own instant-event track at tid 1+kind.
+const cpuTID = 0
+
+func instantTID(k Kind) int { return 1 + int(k) }
+
+// WriteChrome writes the retained events as Chrome trace-event JSON, which
+// chrome://tracing, Perfetto and speedscope can load directly.
+//
+// Sched, IdleEnter and IdleExit become begin/end duration slices on a
+// single "cpu" track — each context switch ends the previous slice and
+// opens one named for the scheduled process, and idle periods appear as
+// "idle" slices. All other kinds (interrupts, softirqs, trigger states,
+// soft-timer fires, custom events) become thread-scoped instant events on
+// per-kind tracks, carrying the event's Arg. Timestamps are microseconds,
+// per the format.
+func (b *Buffer) WriteChrome(w io.Writer) error {
+	evs := b.Events()
+
+	var body []chromeEvent
+	threadNames := map[int]string{cpuTID: "cpu"}
+	sliceOpen := false
+	endSlice := func(ts float64) {
+		if sliceOpen {
+			body = append(body, chromeEvent{Name: "", Phase: "E", TS: ts, PID: 1, TID: cpuTID})
+			sliceOpen = false
+		}
+	}
+	beginSlice := func(name string, ts float64) {
+		body = append(body, chromeEvent{Name: name, Phase: "B", TS: ts, PID: 1, TID: cpuTID})
+		sliceOpen = true
+	}
+
+	var lastTS float64
+	for _, e := range evs {
+		ts := float64(e.At) / float64(sim.Microsecond)
+		lastTS = ts
+		switch e.Kind {
+		case Sched:
+			endSlice(ts)
+			name := e.Label
+			if name == "" {
+				name = "run"
+			}
+			beginSlice(name, ts)
+		case IdleEnter:
+			endSlice(ts)
+			beginSlice("idle", ts)
+		case IdleExit:
+			endSlice(ts)
+		default:
+			tid := instantTID(e.Kind)
+			threadNames[tid] = e.Kind.String()
+			name := e.Label
+			if name == "" {
+				name = e.Kind.String()
+			}
+			body = append(body, chromeEvent{
+				Name: name, Phase: "i", TS: ts, PID: 1, TID: tid,
+				Scope: "t", Args: map[string]any{"arg": e.Arg},
+			})
+		}
+	}
+	endSlice(lastTS)
+
+	// Metadata first: process name, then thread names in tid order, so
+	// viewers label tracks before any event references them.
+	out := []chromeEvent{{
+		Name: "process_name", Phase: "M", PID: 1, TID: cpuTID,
+		Args: map[string]any{"name": "softtimers"},
+	}}
+	tids := make([]int, 0, len(threadNames))
+	for tid := range threadNames {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": threadNames[tid]},
+		})
+	}
+	out = append(out, body...)
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"softtimers/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenBuffer builds a small deterministic trace exercising every track
+// type: slices (sched/idle), instants on several kinds, an unnamed label,
+// and an application kind beyond Custom.
+func goldenBuffer() *Buffer {
+	b := New(64)
+	b.Add(0, Sched, "init", 0)
+	b.Add(5*sim.Microsecond, Intr, "nic0.rx", 3)
+	b.Add(7*sim.Microsecond, SoftIRQ, "proto", 0)
+	b.Add(9*sim.Microsecond, TriggerState, "softirq", 1)
+	b.Add(10*sim.Microsecond, SoftFire, "pacer", 2)
+	b.Add(12*sim.Microsecond, Sched, "httpd", 7)
+	b.Add(20*sim.Microsecond, IdleEnter, "", 0)
+	b.Add(30*sim.Microsecond, IdleExit, "", 0)
+	b.Add(31*sim.Microsecond, Custom, "", 42)
+	b.Add(33*sim.Microsecond, Custom+2, "appmark", 1)
+	b.Add(40*sim.Microsecond, Sched, "httpd", 7)
+	return b
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var got bytes.Buffer
+	if err := goldenBuffer().WriteChrome(&got); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("chrome trace differs from golden\ngot:\n%s\nwant:\n%s", got.Bytes(), want)
+	}
+}
+
+func TestWriteChromeIsValidTraceEventJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := goldenBuffer().WriteChrome(&out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	depth := 0
+	phases := map[string]int{}
+	for i, e := range doc.TraceEvents {
+		phases[e.Phase]++
+		switch e.Phase {
+		case "M", "B", "E", "i":
+		default:
+			t.Errorf("event %d: unknown phase %q", i, e.Phase)
+		}
+		if e.PID != 1 {
+			t.Errorf("event %d: pid = %d", i, e.PID)
+		}
+		if e.TS < 0 {
+			t.Errorf("event %d: negative ts", i)
+		}
+		switch e.Phase {
+		case "B":
+			depth++
+		case "E":
+			depth--
+			if depth < 0 {
+				t.Fatalf("event %d: E without matching B", i)
+			}
+		case "M":
+			if e.Args["name"] == "" {
+				t.Errorf("event %d: metadata without name arg", i)
+			}
+		}
+	}
+	if depth != 0 {
+		t.Errorf("unbalanced slices: %d B events left open", depth)
+	}
+	for _, ph := range []string{"M", "B", "E", "i"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q events emitted", ph)
+		}
+	}
+	// Timestamps are non-decreasing past the metadata preamble.
+	var prev float64 = -1
+	for i, e := range doc.TraceEvents {
+		if e.Phase == "M" {
+			continue
+		}
+		if e.TS < prev {
+			t.Errorf("event %d: ts %v < previous %v", i, e.TS, prev)
+		}
+		prev = e.TS
+	}
+}

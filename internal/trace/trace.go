@@ -37,12 +37,31 @@ var kindNames = [...]string{
 	"sched", "intr", "softirq", "trigger", "softfire", "idle+", "idle-", "custom",
 }
 
-// String names the kind.
+// String names the kind. Application-defined kinds (Custom+n) render as
+// "custom+n"; negative kinds — which no API produces — as "kind(-n)".
 func (k Kind) String() string {
-	if k < 0 || int(k) >= len(kindNames) {
+	if k < 0 {
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
+	if int(k) >= len(kindNames) {
+		return fmt.Sprintf("custom+%d", int(k)-int(Custom))
+	}
 	return kindNames[k]
+}
+
+// ParseKind inverts String for non-negative kinds: every name produced by
+// Kind.String maps back to its kind.
+func ParseKind(s string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), true
+		}
+	}
+	var n int
+	if _, err := fmt.Sscanf(s, "custom+%d", &n); err == nil && n > 0 {
+		return Custom + Kind(n), true
+	}
+	return 0, false
 }
 
 // Event is one trace record.
@@ -145,14 +164,19 @@ func (b *Buffer) Dump(w io.Writer) error {
 	return nil
 }
 
-// Summary returns per-kind counts of retained events, formatted compactly.
+// Summary returns per-kind counts of retained events, formatted compactly
+// in ascending kind order. Application kinds beyond Custom are included.
 func (b *Buffer) Summary() string {
 	counts := map[Kind]int{}
+	maxKind := Kind(-1)
 	for _, e := range b.Events() {
 		counts[e.Kind]++
+		if e.Kind > maxKind {
+			maxKind = e.Kind
+		}
 	}
 	var parts []string
-	for k := Kind(0); k <= Custom; k++ {
+	for k := Kind(0); k <= maxKind; k++ {
 		if c := counts[k]; c > 0 {
 			parts = append(parts, fmt.Sprintf("%s=%d", k, c))
 		}

@@ -101,8 +101,42 @@ func TestKindString(t *testing.T) {
 	if Sched.String() != "sched" || TriggerState.String() != "trigger" {
 		t.Fatal("kind names wrong")
 	}
-	if Kind(99).String() != "kind(99)" {
-		t.Fatal("out-of-range kind")
+	if got := (Custom + 2).String(); got != "custom+2" {
+		t.Fatalf("application kind = %q, want custom+2", got)
+	}
+	if got := Kind(99).String(); got != "custom+92" {
+		t.Fatalf("Kind(99) = %q, want custom+92", got)
+	}
+	if got := Kind(-3).String(); got != "kind(-3)" {
+		t.Fatalf("negative kind = %q", got)
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	kinds := []Kind{Sched, Intr, SoftIRQ, TriggerState, SoftFire,
+		IdleEnter, IdleExit, Custom, Custom + 1, Custom + 17}
+	for _, k := range kinds {
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v, true", k.String(), got, ok, k)
+		}
+	}
+	if _, ok := ParseKind("no-such-kind"); ok {
+		t.Error("ParseKind accepted garbage")
+	}
+	if _, ok := ParseKind("custom+0"); ok {
+		t.Error(`ParseKind accepted "custom+0" (Custom itself renders as "custom")`)
+	}
+}
+
+func TestSummaryIncludesApplicationKinds(t *testing.T) {
+	b := New(8)
+	b.Add(1, Sched, "p", 0)
+	b.Add(2, Custom+3, "app", 0)
+	b.Add(3, Custom+3, "app", 0)
+	s := b.Summary()
+	if !strings.Contains(s, "sched=1") || !strings.Contains(s, "custom+3=2") {
+		t.Fatalf("summary %q missing application kind counts", s)
 	}
 }
 
