@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench metrics-smoke trace-smoke stbench clean
+.PHONY: all check vet build test race bench metrics-smoke trace-smoke fuzz-smoke scenario-smoke stbench clean
+
+# Per-target budget for the fuzz smoke (CI passes a longer one).
+FUZZTIME ?= 30s
 
 all: check
 
@@ -38,6 +41,17 @@ metrics-smoke:
 trace-smoke:
 	$(GO) run ./cmd/sttrace -workload ST-nfs -mode chrome -n 20000 > /tmp/sttrace-smoke.trace.json
 	$(GO) run ./cmd/tracecheck /tmp/sttrace-smoke.trace.json
+
+# Native-fuzz smoke: run each fuzz target for FUZZTIME beyond its checked-in
+# corpus. Corpus-only regression replay happens in plain `make test`.
+fuzz-smoke:
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzKindRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzChromeWriter$$' -fuzztime $(FUZZTIME)
+
+# Degradation smoke: the fault-injection summary under the nastiest named
+# scenario, exercising the -scenario path end to end.
+scenario-smoke:
+	$(GO) run ./cmd/stbench -scenario hostile >/dev/null
 
 stbench:
 	$(GO) build -o stbench ./cmd/stbench

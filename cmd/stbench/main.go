@@ -11,11 +11,17 @@
 //	stbench -exp all -json out.json  # machine-readable perf record
 //	stbench -exp fig2 -metrics m.json  # full telemetry snapshot dump
 //	stbench -exp fig2 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	stbench -scenario hostile      # degradation summary under a named
+//	                               # fault-injection scenario
 //
 // Experiments: fig2, fig3 (alias of fig2), sec52, table1 (incl. figure 4),
 // fig5, table2, fig6, table3, table4, table5, table6, table7, table8,
 // delaydist (§3's d distribution), sec510 (useful-range analysis),
-// ablation-wheel, ablation-idle, ablation-pollution, all.
+// ablation-wheel, ablation-idle, ablation-pollution, degradation-starve,
+// degradation-loss, all.
+//
+// An experiment that panics is reported on stderr and the process exits
+// non-zero, after the remaining experiments have completed and printed.
 //
 // Every experiment builds its own simulation engine per measurement, so
 // -parallel N fans them (and the sweep rows inside them) across N
@@ -35,6 +41,7 @@ import (
 	"time"
 
 	"softtimers/internal/experiments"
+	"softtimers/internal/faults"
 	"softtimers/internal/metrics"
 )
 
@@ -52,6 +59,7 @@ type jsonExperiment struct {
 	Name    string             `json:"name"`
 	WallMS  float64            `json:"wall_ms"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Error   string             `json:"error,omitempty"`
 }
 
 func main() {
@@ -63,6 +71,9 @@ func main() {
 	jsonPath := flag.String("json", "", "also write a machine-readable results record to this file")
 	metricsPath := flag.String("metrics", "",
 		"write each experiment's full telemetry snapshot (JSON, deterministic at any -parallel) to this file")
+	scenario := flag.String("scenario", "",
+		"run the degradation summary under this named fault scenario instead of -exp ("+
+			strings.Join(faults.ScenarioNames(), ", ")+")")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	flag.Parse()
@@ -94,29 +105,50 @@ func main() {
 	sc.Seed = *seed
 	sc.Workers = *parallel
 
-	name := strings.ToLower(*exp)
-	if name == "fig3" || name == "fig4" {
-		// Figure 3 is derived from Figure 2's data; Figure 4 from Table 1's.
-		alias := map[string]string{"fig3": "fig2", "fig4": "table1"}
-		name = alias[name]
-	}
 	var names []string
-	if name == "all" {
-		names = experiments.Order
-	} else if _, ok := experiments.Lookup(name); ok {
-		names = []string{name}
+	if *scenario != "" {
+		if _, ok := faults.LookupScenario(*scenario); !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q; known: %s\n",
+				*scenario, strings.Join(faults.ScenarioNames(), ", "))
+			os.Exit(2)
+		}
 	} else {
-		known := experiments.Names()
-		sort.Strings(known)
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s, all\n", *exp, strings.Join(known, ", "))
-		os.Exit(2)
+		name := strings.ToLower(*exp)
+		if name == "fig3" || name == "fig4" {
+			// Figure 3 is derived from Figure 2's data; Figure 4 from Table 1's.
+			alias := map[string]string{"fig3": "fig2", "fig4": "table1"}
+			name = alias[name]
+		}
+		if name == "all" {
+			names = experiments.Order
+		} else if _, ok := experiments.Lookup(name); ok {
+			names = []string{name}
+		} else {
+			known := experiments.Names()
+			sort.Strings(known)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s, all\n", *exp, strings.Join(known, ", "))
+			os.Exit(2)
+		}
 	}
 
 	start := time.Now()
-	results := experiments.RunParallel(sc, names, *parallel)
+	var results []experiments.Result
+	if *scenario != "" {
+		results = []experiments.Result{{Name: "scenario-" + *scenario}}
+		results[0].Table = experiments.RunScenario(sc, *scenario)
+		results[0].Wall = time.Since(start)
+	} else {
+		results = experiments.RunParallel(sc, names, *parallel)
+	}
 	total := time.Since(start)
 
+	failed := false
 	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: %v\n", r.Err)
+			failed = true
+			continue
+		}
 		fmt.Println(r.Table.Render())
 		fmt.Printf("(%s completed in %v)\n\n", r.Name, r.Wall.Round(time.Millisecond))
 	}
@@ -148,6 +180,9 @@ func main() {
 		}
 		f.Close()
 	}
+	if failed {
+		os.Exit(1)
+	}
 }
 
 // writeMetrics dumps each experiment's telemetry snapshot keyed by
@@ -157,7 +192,7 @@ func main() {
 func writeMetrics(path string, results []experiments.Result) error {
 	out := map[string]*metrics.Snapshot{}
 	for _, r := range results {
-		if r.Table.Telemetry != nil {
+		if r.Table != nil && r.Table.Telemetry != nil {
 			out[r.Name] = r.Table.Telemetry
 		}
 	}
@@ -176,11 +211,17 @@ func writeJSON(path, scale string, parallel int, total time.Duration, results []
 		TotalWallMS: float64(total.Microseconds()) / 1000,
 	}
 	for _, r := range results {
-		rec.Experiments = append(rec.Experiments, jsonExperiment{
-			Name:    r.Name,
-			WallMS:  float64(r.Wall.Microseconds()) / 1000,
-			Metrics: r.Table.Metrics,
-		})
+		e := jsonExperiment{
+			Name:   r.Name,
+			WallMS: float64(r.Wall.Microseconds()) / 1000,
+		}
+		if r.Table != nil {
+			e.Metrics = r.Table.Metrics
+		}
+		if r.Err != nil {
+			e.Error = r.Err.Error()
+		}
+		rec.Experiments = append(rec.Experiments, e)
 	}
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

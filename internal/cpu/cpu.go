@@ -81,6 +81,26 @@ func (p Profile) Work(d sim.Time) sim.Time {
 	return w
 }
 
+// Perturber injects noise into computed work durations. The fault-injection
+// layer implements it to model per-syscall/trap CPU-cost variation
+// (competing bus traffic, cache state, frequency steps); the kernel passes
+// its installed perturber — nil when no fault plan — to PerturbedWork.
+type Perturber interface {
+	// PerturbWork maps an execution time to its perturbed value. It must
+	// return a positive duration.
+	PerturbWork(d sim.Time) sim.Time
+}
+
+// PerturbedWork is Work followed by the perturber, when one is installed.
+// A nil perturber costs one comparison, keeping the clean path unchanged.
+func (p Profile) PerturbedWork(pert Perturber, d sim.Time) sim.Time {
+	w := p.Work(d)
+	if pert != nil {
+		w = pert.PerturbWork(w)
+	}
+	return w
+}
+
 // IntrTotal returns the total per-interrupt overhead (direct + pollution),
 // the quantity Figure 3's linear fit measures.
 func (p Profile) IntrTotal() sim.Time { return p.IntrDirect + p.IntrPollution }

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"softtimers/internal/sim"
+)
+
+// degradationScale trims the quick scale so the full sweep stays fast in
+// unit tests while keeping enough probes for stable percentiles.
+func degradationScale() Scale {
+	sc := QuickScale()
+	sc.Samples = 50_000 // 1000 probes per row
+	sc.Warmup = 200 * sim.Millisecond
+	return sc
+}
+
+// TestDegradationStarveBound is the paper-faithful regression: however
+// starved the trigger sources, soft-timer delay is bounded by the hardclock
+// period plus one measurement tick (the §4 fallback guarantee), and the
+// facility's check overhead stays within the configured budget. The small
+// slack term covers interrupt-entry plus hardclock-handler latency — the
+// trigger-state check itself happens a few µs after the period boundary.
+func TestDegradationStarveBound(t *testing.T) {
+	r := RunDegradationStarve(degradationScale())
+	const slackUS = 10
+	for _, row := range r.Rows {
+		if row.N < 400 {
+			t.Fatalf("starve=%g: only %d probes fired", row.Frac, row.N)
+		}
+		bound := r.PeriodUS + 1 + slackUS
+		if row.MaxUS > bound {
+			t.Errorf("starve=%g: max delay %.0fus exceeds hard-timer bound %.0fus",
+				row.Frac, row.MaxUS, bound)
+		}
+		if row.OverheadFrac > r.Budget {
+			t.Errorf("starve=%g: check overhead %.4f exceeds budget %.4f",
+				row.Frac, row.OverheadFrac, r.Budget)
+		}
+	}
+	clean, starved := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if starved.Frac != 1.0 {
+		t.Fatalf("last row should be full starvation, got %g", starved.Frac)
+	}
+	// Degradation is graceful but real: with every trigger source starved,
+	// only the hardclock fires events and mean delay approaches half the
+	// period; clean delay stays far below it.
+	if clean.MeanUS > 100 {
+		t.Errorf("clean mean delay %.1fus too high for a busy kernel", clean.MeanUS)
+	}
+	if starved.MeanUS < 5*clean.MeanUS || starved.MeanUS < 200 {
+		t.Errorf("full starvation mean delay %.1fus does not show degradation (clean %.1fus)",
+			starved.MeanUS, clean.MeanUS)
+	}
+	if starved.HardclockShare != 1.0 {
+		t.Errorf("full starvation should fire only at hardclock, share %.3f", starved.HardclockShare)
+	}
+	if starved.Starved == 0 {
+		t.Error("full starvation suppressed no trigger checks")
+	}
+}
+
+// TestDegradationLossGraceful checks the loss sweep: delivered fraction
+// tracks 1−p (timer-paced transmission has no loss-triggered collapse) and
+// goodput relative to clean weakly decreases with the loss rate.
+func TestDegradationLossGraceful(t *testing.T) {
+	r := RunDegradationLoss(degradationScale())
+	prev := math.Inf(1)
+	for _, row := range r.Rows {
+		want := 1 - row.Rate
+		if math.Abs(row.DeliveredFrac-want) > 0.05 {
+			t.Errorf("loss=%g: delivered fraction %.3f, want ~%.3f", row.Rate, row.DeliveredFrac, want)
+		}
+		if row.Dups != 0 {
+			t.Errorf("loss=%g: %d duplicates from a drop-only spec", row.Rate, row.Dups)
+		}
+		if row.VsClean > prev+0.02 {
+			t.Errorf("loss=%g: goodput ratio %.3f rose above previous %.3f", row.Rate, row.VsClean, prev)
+		}
+		prev = row.VsClean
+	}
+	if r.Rows[0].DeliveredFrac != 1.0 {
+		t.Errorf("clean row delivered fraction %.3f, want 1.0", r.Rows[0].DeliveredFrac)
+	}
+}
+
+// telemetryJSON renders a snapshot to its byte-stable JSON form.
+func telemetryJSON(t *testing.T, tab *Table) []byte {
+	t.Helper()
+	if tab.Telemetry == nil {
+		t.Fatal("table has no telemetry")
+	}
+	var buf bytes.Buffer
+	if err := tab.Telemetry.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDegradationSeedReplay is the determinism contract for faulty runs:
+// the same seed replays byte-identically — rendered tables and merged
+// telemetry — regardless of worker parallelism.
+func TestDegradationSeedReplay(t *testing.T) {
+	for _, name := range []string{"degradation-starve", "degradation-loss"} {
+		run, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		sc1 := degradationScale()
+		sc1.Workers = 1
+		sc8 := degradationScale()
+		sc8.Workers = 8
+		base := run(sc1)
+		for label, sc := range map[string]Scale{"replay": sc1, "parallel": sc8} {
+			got := run(sc)
+			if got.Render() != base.Render() {
+				t.Errorf("%s/%s: rendered table differs from baseline", name, label)
+			}
+			if !bytes.Equal(telemetryJSON(t, got), telemetryJSON(t, base)) {
+				t.Errorf("%s/%s: telemetry snapshot differs from baseline", name, label)
+			}
+		}
+	}
+}
+
+// TestRunScenario exercises the stbench -scenario path for every named
+// scenario at a tiny scale, and checks unknown names panic with the list.
+func TestRunScenario(t *testing.T) {
+	sc := degradationScale()
+	sc.Samples = 25_000
+	tab := RunScenario(sc, "hostile")
+	if len(tab.Rows) == 0 || tab.Telemetry == nil {
+		t.Fatal("scenario table empty or missing telemetry")
+	}
+	if tab.Metrics["check_overhead_frac"] > 0.01 {
+		t.Errorf("hostile scenario check overhead %.4f exceeds budget", tab.Metrics["check_overhead_frac"])
+	}
+	// Hostile drops 5% and duplicates 2% on the data path.
+	if f := tab.Metrics["delivered_frac"]; f < 0.9 || f > 1.0 {
+		t.Errorf("hostile delivered fraction %.3f out of range", f)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RunScenario with unknown name did not panic")
+			}
+		}()
+		RunScenario(sc, "no-such-scenario")
+	}()
+}

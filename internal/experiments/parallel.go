@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,18 +25,40 @@ import (
 // runner) simply multiply goroutines; they are CPU-bound and the Go
 // scheduler time-slices them, so oversubscription costs little and
 // determinism is unaffected.
+// A panic inside a task must not kill the process before the other tasks
+// finish (and before callers get a chance to report a non-zero exit
+// cleanly). Each task is recovered individually; the remaining tasks still
+// run, and after all complete the panic with the lowest index is re-raised
+// on the calling goroutine — so behavior is deterministic at any worker
+// count, serial included.
 func forEach(workers, n int, fn func(i int)) {
 	if workers <= 1 || n <= 1 {
+		panIdx, panVal := n, any(nil)
 		for i := 0; i < n; i++ {
-			fn(i)
+			func() {
+				defer func() {
+					if r := recover(); r != nil && i < panIdx {
+						panIdx, panVal = i, r
+					}
+				}()
+				fn(i)
+			}()
+		}
+		if panIdx < n {
+			panic(panVal)
 		}
 		return
 	}
 	if workers > n {
 		workers = n
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		mu     sync.Mutex
+		panIdx = n
+		panVal any
+		next   atomic.Int64
+		wg     sync.WaitGroup
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -45,11 +68,25 @@ func forEach(workers, n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if i < panIdx {
+								panIdx, panVal = i, r
+							}
+							mu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	if panIdx < n {
+		panic(panVal)
+	}
 }
 
 // Result is one experiment's outcome with its wall-clock cost, as
@@ -59,6 +96,10 @@ type Result struct {
 	Name  string
 	Table *Table
 	Wall  time.Duration
+	// Err records a panic escaping the experiment's driver; Table is nil
+	// when set. Callers (stbench) report it and exit non-zero instead of
+	// crashing mid-run with the other experiments' output lost.
+	Err error
 }
 
 // RunParallel runs the named experiments across at most workers
@@ -78,8 +119,20 @@ func RunParallel(sc Scale, names []string, workers int) []Result {
 			panic("experiments: unknown experiment " + names[i])
 		}
 		start := time.Now()
-		table := run(sc)
-		results[i] = Result{Name: names[i], Table: table, Wall: time.Since(start)}
+		results[i].Name = names[i]
+		func() {
+			// A driver bug (panic in a sweep row, possibly on another
+			// goroutine via forEach's re-raise) becomes a per-experiment
+			// error rather than a process crash: the remaining experiments
+			// still run and the caller decides the exit status.
+			defer func() {
+				if r := recover(); r != nil {
+					results[i].Err = fmt.Errorf("experiment %s panicked: %v", names[i], r)
+				}
+			}()
+			results[i].Table = run(sc)
+		}()
+		results[i].Wall = time.Since(start)
 	})
 	return results
 }

@@ -129,6 +129,61 @@ func TestRunParallelPreservesNameOrder(t *testing.T) {
 	}
 }
 
+// A panicking experiment must surface as Result.Err — in order, with the
+// other experiments' tables intact — not crash the process from a worker
+// goroutine. This is what lets stbench exit non-zero cleanly.
+func TestRunParallelCapturesWorkerPanic(t *testing.T) {
+	registry["panicky"] = func(sc Scale) *Table { panic("deliberate test panic") }
+	defer delete(registry, "panicky")
+
+	sc := tinyScale()
+	sc.Samples = 5_000
+	names := []string{"ablation-idle", "panicky", "sec510"}
+	for _, workers := range []int{1, 3} {
+		results := RunParallel(sc, names, workers)
+		for i, r := range results {
+			if r.Name != names[i] {
+				t.Fatalf("workers=%d: result %d = %q, want %q", workers, i, r.Name, names[i])
+			}
+		}
+		if results[1].Err == nil || results[1].Table != nil {
+			t.Fatalf("workers=%d: panicking experiment: err=%v table=%v",
+				workers, results[1].Err, results[1].Table)
+		}
+		for _, i := range []int{0, 2} {
+			if results[i].Err != nil || results[i].Table == nil {
+				t.Fatalf("workers=%d: healthy experiment %s: err=%v table=%v",
+					workers, results[i].Name, results[i].Err, results[i].Table)
+			}
+		}
+	}
+}
+
+// forEach itself re-raises the lowest-index panic after every task has run,
+// so row-level sweeps inside a driver fail the same way at any worker count.
+func TestForEachReRaisesLowestPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 20
+		var ran atomic.Int32
+		got := func() (v any) {
+			defer func() { v = recover() }()
+			forEach(workers, n, func(i int) {
+				ran.Add(1)
+				if i == 3 || i == 11 {
+					panic(i)
+				}
+			})
+			return nil
+		}()
+		if got != 3 {
+			t.Fatalf("workers=%d: re-raised panic %v, want 3 (lowest index)", workers, got)
+		}
+		if ran.Load() != n {
+			t.Fatalf("workers=%d: %d tasks ran before re-raise, want all %d", workers, ran.Load(), n)
+		}
+	}
+}
+
 func TestRegistryCoversOrder(t *testing.T) {
 	if len(Names()) != len(Order) {
 		t.Fatalf("registry has %d entries, Order lists %d", len(Names()), len(Order))

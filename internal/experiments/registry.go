@@ -27,12 +27,16 @@ var registry = map[string]Runner{
 	"ablation-wheel":     func(sc Scale) *Table { return RunWheelAblation(sc).Table() },
 	"ablation-idle":      func(sc Scale) *Table { return RunIdleAblation(sc).Table() },
 	"ablation-pollution": func(sc Scale) *Table { return RunPollutionAblation(sc).Table() },
+	// Graceful-degradation sweeps under the fault-injection layer.
+	"degradation-starve": func(sc Scale) *Table { return RunDegradationStarve(sc).Table() },
+	"degradation-loss":   func(sc Scale) *Table { return RunDegradationLoss(sc).Table() },
 }
 
 // Order fixes the presentation sequence for "all experiments".
 var Order = []string{"fig2", "sec52", "table1", "fig5", "table2", "fig6",
 	"table3", "table4", "table5", "table6", "table7", "table8",
-	"delaydist", "sec510", "ablation-wheel", "ablation-idle", "ablation-pollution"}
+	"delaydist", "sec510", "ablation-wheel", "ablation-idle", "ablation-pollution",
+	"degradation-starve", "degradation-loss"}
 
 // Lookup returns the driver registered under name.
 func Lookup(name string) (Runner, bool) {

@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"softtimers/internal/sim"
+)
+
+// Named scenarios give stbench -scenario and the degradation experiments a
+// shared vocabulary. Each is a fixed Spec so "the same scenario" always
+// means the same fault rates across runs, docs, and regression tests.
+var scenarios = map[string]Spec{
+	// clean: the well-behaved substrate every other PR has used.
+	"clean": {},
+
+	// lossy: a bad WAN path — 5% loss, light duplication and reordering.
+	"lossy": {
+		Drop:       0.05,
+		Dup:        0.01,
+		Reorder:    0.02,
+		ReorderMax: 500 * sim.Microsecond,
+	},
+
+	// jittery: a noisy platform — late interrupts, coalesced PIT ticks,
+	// and ±25% syscall/trap cost noise, but a clean network.
+	"jittery": {
+		IntrJitterMax: 10 * sim.Microsecond,
+		IntrCoalesce:  0.1,
+		WorkJitter:    0.25,
+	},
+
+	// starved: trigger states almost never occur (95% suppressed), so
+	// soft timers must lean on the hardclock fallback. This is the
+	// scenario behind the paper's graceful-degradation claim.
+	"starved": {
+		Starve: 0.95,
+	},
+
+	// hostile: everything at once — the stress scenario the property
+	// tests and seed-replay regression run under.
+	"hostile": {
+		Drop:          0.05,
+		Dup:           0.02,
+		Reorder:       0.03,
+		ReorderMax:    200 * sim.Microsecond,
+		IntrJitterMax: 5 * sim.Microsecond,
+		IntrCoalesce:  0.1,
+		WorkJitter:    0.25,
+		Starve:        0.5,
+	},
+}
+
+// LookupScenario returns the named scenario's spec.
+func LookupScenario(name string) (Spec, bool) {
+	s, ok := scenarios[name]
+	return s, ok
+}
+
+// ScenarioNames returns all scenario names, sorted.
+func ScenarioNames() []string {
+	names := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MustScenario is LookupScenario for callers with a validated name; it
+// panics on a miss with the list of valid names.
+func MustScenario(name string) Spec {
+	s, ok := scenarios[name]
+	if !ok {
+		panic(fmt.Sprintf("faults: unknown scenario %q (have %s)",
+			name, strings.Join(ScenarioNames(), ", ")))
+	}
+	return s
+}

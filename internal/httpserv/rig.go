@@ -5,6 +5,7 @@ import (
 
 	"softtimers/internal/core"
 	"softtimers/internal/cpu"
+	"softtimers/internal/faults"
 	"softtimers/internal/kernel"
 	"softtimers/internal/metrics"
 	"softtimers/internal/netstack"
@@ -47,6 +48,11 @@ type TestbedConfig struct {
 	// NICCount is the number of server network interfaces, each with its
 	// own duplex link (default 1; the paper's Table 8 machine had 4).
 	NICCount int
+	// Faults, when set, threads the fault plan through the rig: it is
+	// installed on the kernel (trigger starvation, interrupt jitter,
+	// CPU-cost noise), on every LAN link (drop/dup/reorder), and on each
+	// NIC's receive ring, and its counters join the rig's registry.
+	Faults *faults.Plan
 }
 
 // NewTestbed wires everything together. Call Run to execute.
@@ -70,6 +76,9 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	if !kOpts.IdleLoop {
 		kOpts.IdleLoop = true
 	}
+	if cfg.Faults != nil {
+		kOpts.Faults = cfg.Faults
+	}
 
 	if cfg.NICCount == 0 {
 		cfg.NICCount = 1
@@ -88,12 +97,15 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	for i := 0; i < cfg.NICCount; i++ {
 		name := fmt.Sprintf("%d", i)
 		downLink := netstack.NewLink(tb.Eng, "down"+name, cfg.LinkBps, cfg.LinkDelay, clientSide)
+		downLink.Faults = cfg.Faults.Link("link.down" + name)
 		downLink.RegisterMetrics(tb.K.Metrics())
 		nicCfg := cfg.NIC
 		nicCfg.Name = "nic" + name
+		nicCfg.Faults = cfg.Faults.Link("nic.nic" + name + ".rx")
 		n := nic.New(tb.K, tb.F, nicCfg, downLink)
 		tb.NICs = append(tb.NICs, n)
 		upLinks[i] = netstack.NewLink(tb.Eng, "up"+name, cfg.LinkBps, cfg.LinkDelay, n)
+		upLinks[i].Faults = cfg.Faults.Link("link.up" + name)
 		upLinks[i].RegisterMetrics(tb.K.Metrics())
 	}
 	tb.NIC = tb.NICs[0]

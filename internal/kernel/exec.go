@@ -193,7 +193,10 @@ func (k *Kernel) runIntr(req intrReq) {
 	k.acct.Intr += dur
 	k.mIntr[req.src].Inc()
 	k.mIntrNS[req.src].Add(int64(dur))
-	k.eng.AfterLabeled(dur, "intr:"+req.src.String(), func() {
+	// Fault-injected delivery jitter delays the handler's completion (the
+	// controller asserted the line late) without charging CPU time — only
+	// the handler's own dur lands in the interrupt accounting.
+	k.eng.AfterLabeled(dur+k.opts.Faults.IntrJitter(), "intr:"+req.src.String(), func() {
 		if req.fn != nil {
 			req.fn() // side effects while interrupts still disabled
 		}
@@ -238,13 +241,18 @@ func (k *Kernel) chainStep(steps []ChainStep, i int, class acctClass, done func(
 		return
 	}
 	st := steps[i]
-	w := k.prof.Work(st.Work)
+	var w sim.Time
 	switch class {
 	case acctSoftIRQ:
+		w = k.prof.Work(st.Work)
 		k.acct.SoftIRQ += w
 	case acctIntr:
+		w = k.prof.Work(st.Work)
 		k.acct.Intr += w
 	default:
+		// Kernel-context chains (syscall-driven protocol output loops)
+		// carry the fault plan's CPU-cost perturbation.
+		w = k.workFaulted(st.Work)
 		k.acct.Kernel += w
 	}
 	k.eng.After(w, func() {
@@ -262,7 +270,7 @@ func (k *Kernel) chainStep(steps []ChainStep, i int, class acctClass, done func(
 // triggerInCtx reports a trigger state from within occupied CPU context:
 // soft-timer handler time simply extends the occupancy.
 func (k *Kernel) triggerInCtx(src Source, cont func()) {
-	if !k.opts.DisabledSources[src] {
+	if !k.opts.DisabledSources[src] && !k.starved(src) {
 		k.tr(trace.TriggerState, src.String(), 0)
 		k.meter.record(k.eng.Now(), src)
 		if k.sink != nil {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"softtimers/internal/cpu"
+	"softtimers/internal/faults"
 	"softtimers/internal/metrics"
 	"softtimers/internal/sim"
 	"softtimers/internal/stats"
@@ -126,6 +127,12 @@ type Options struct {
 	// hog still gets occasional timeslices on a saturated system).
 	// Default 300 ms; negative disables aging.
 	StarveBoost sim.Time
+	// Faults, when set, installs the deterministic fault-injection plan:
+	// interrupt-delivery jitter, PIT coalescing perturbation, syscall/
+	// trap cost noise, and trigger-state starvation (the hardclock is
+	// exempt — it is the facility's guaranteed fallback). Nil, the
+	// default, means a perfectly well-behaved substrate.
+	Faults *faults.Plan
 }
 
 func (o *Options) setDefaults() {
@@ -262,6 +269,11 @@ type Kernel struct {
 	callouts *calloutWheel
 
 	pits []*PIT
+
+	// pert is the installed CPU-cost perturber (the fault plan), nil on
+	// a clean run. Kept as a concrete interface field so the per-segment
+	// check is one nil comparison.
+	pert cpu.Perturber
 }
 
 // New constructs a kernel on the engine with the given CPU profile.
@@ -283,6 +295,10 @@ func New(eng *sim.Engine, prof cpu.Profile, opts Options) *Kernel {
 	}
 	k.callouts = newCalloutWheel()
 	k.initMetrics()
+	if opts.Faults != nil {
+		k.pert = opts.Faults
+		opts.Faults.RegisterMetrics(k.m)
+	}
 	return k
 }
 
@@ -393,10 +409,18 @@ func (k *Kernel) Start() {
 	k.dispatch()
 }
 
+// starved reports whether the fault plan suppresses this trigger-state
+// check. The hardclock source is always exempt: the periodic clock
+// interrupt is the paper's guaranteed backup, and starving it would remove
+// the very delay bound the degradation experiments measure.
+func (k *Kernel) starved(src Source) bool {
+	return src != SrcHardClock && k.opts.Faults.StarveTrigger()
+}
+
 // trigger reports a trigger state, then runs cont after any soft-timer
 // handler work the sink performed. cont must not be nil.
 func (k *Kernel) trigger(src Source, cont func()) {
-	if !k.opts.DisabledSources[src] {
+	if !k.opts.DisabledSources[src] && !k.starved(src) {
 		k.tr(trace.TriggerState, src.String(), 0)
 		k.meter.record(k.eng.Now(), src)
 		if k.sink != nil {
@@ -410,6 +434,14 @@ func (k *Kernel) trigger(src Source, cont func()) {
 		}
 	}
 	cont()
+}
+
+// workFaulted converts nominal work like prof.Work and then applies the
+// fault plan's CPU-cost perturbation. Used for syscall/trap service and
+// kernel-context chain work; user computation and fixed hardware costs are
+// not perturbed.
+func (k *Kernel) workFaulted(d sim.Time) sim.Time {
+	return k.prof.PerturbedWork(k.pert, d)
 }
 
 // runAux occupies the CPU for d (soft-timer handler execution), then cont.

@@ -18,10 +18,11 @@ type PIT struct {
 	work    sim.Time
 	handler func()
 
-	running bool
-	pending bool // an interrupt has been raised but not yet serviced
-	n       int64
-	ev      sim.Event
+	running  bool
+	pending  bool // an interrupt has been raised but not yet serviced
+	n        int64
+	ev       sim.Event
+	jitterEv sim.Event // fault-injected delivery deferral in flight
 
 	// Fires counts delivered interrupts; Lost counts merged ticks.
 	Fires int64
@@ -62,22 +63,36 @@ func (p *PIT) Start() {
 			return
 		}
 		p.pending = true
-		p.k.RaiseInterrupt(SrcPIT, p.work, func() {
-			p.pending = false
-			p.Fires++
-			if p.handler != nil {
-				p.handler()
-			}
-		})
+		raise := func() {
+			p.jitterEv = sim.Event{}
+			p.k.RaiseInterrupt(SrcPIT, p.work, func() {
+				p.pending = false
+				p.Fires++
+				if p.handler != nil {
+					p.handler()
+				}
+			})
+		}
+		// Fault-injected delivery perturbation: the line is asserted now
+		// (pending is already set, so meanwhile ticks merge into Lost),
+		// but the CPU sees the interrupt late — up to a full period under
+		// the coalescing scenario.
+		if d := p.k.opts.Faults.PITPerturb(p.period); d > 0 {
+			p.jitterEv = p.k.eng.AfterLabeled(d, "pit:jitter", raise)
+			return
+		}
+		raise()
 	}
 	p.ev = p.k.eng.AtLabeled(base+p.period, "pit", tick)
 }
 
-// Stop halts the timer.
+// Stop halts the timer, including any fault-deferred delivery in flight.
 func (p *PIT) Stop() {
 	p.running = false
 	p.ev.Cancel()
 	p.ev = sim.Event{}
+	p.jitterEv.Cancel()
+	p.jitterEv = sim.Event{}
 }
 
 // Running reports whether the timer is ticking.

@@ -176,7 +176,14 @@ func (p *Proc) Exit() {
 }
 
 func (p *Proc) newSegment(kind segKind, name string, work sim.Time, then func()) *segment {
-	w := p.k.prof.Work(work)
+	var w sim.Time
+	if kind == segUser {
+		w = p.k.prof.Work(work)
+	} else {
+		// Syscall/trap service time carries the fault plan's CPU-cost
+		// perturbation; user computation does not.
+		w = p.k.workFaulted(work)
+	}
 	if p.polluteNext {
 		w += p.pollute(p.k.prof.CtxPollution)
 		p.polluteNext = false

@@ -8,6 +8,7 @@
 package netstack
 
 import (
+	"softtimers/internal/faults"
 	"softtimers/internal/metrics"
 	"softtimers/internal/sim"
 )
@@ -78,6 +79,12 @@ type Link struct {
 	// (0 = unbounded, the default — the paper's WAN runs are loss-free).
 	MaxQueue int
 
+	// Faults, when set, is this link's fault-injection channel: packets
+	// may be dropped after serialization, duplicated, or held back by a
+	// bounded extra delay so later packets overtake them. Nil injects
+	// nothing (one pointer test on the send path).
+	Faults *faults.LinkPlan
+
 	busyUntil sim.Time
 	queued    int
 
@@ -85,6 +92,11 @@ type Link struct {
 	Sent    int64
 	Dropped int64
 	Bytes   int64
+	// Lost, Duplicated and Reordered count injected faults (distinct from
+	// Dropped, which counts queue-limit tail drops).
+	Lost       int64
+	Duplicated int64
+	Reordered  int64
 	// MaxQueued tracks the high-water mark of the serialization queue.
 	MaxQueued int
 }
@@ -109,6 +121,9 @@ func (l *Link) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc(prefix+"sent", func() int64 { return l.Sent })
 	r.CounterFunc(prefix+"dropped", func() int64 { return l.Dropped })
 	r.CounterFunc(prefix+"bytes", func() int64 { return l.Bytes })
+	r.CounterFunc(prefix+"lost", func() int64 { return l.Lost })
+	r.CounterFunc(prefix+"duplicated", func() int64 { return l.Duplicated })
+	r.CounterFunc(prefix+"reordered", func() int64 { return l.Reordered })
 	r.GaugeFunc(prefix+"queue_hwm", func() int64 { return int64(l.MaxQueued) })
 }
 
@@ -146,6 +161,35 @@ func (l *Link) Send(p *Packet) bool {
 	}
 	l.Sent++
 	l.Bytes += int64(p.Size)
+	if l.Faults != nil {
+		// Draw order is fixed (drop, then duplicate, then reorder) so a
+		// link's fault sequence depends only on its own packet order.
+		if l.Faults.Drop() {
+			// The packet consumed wire time but never arrives.
+			l.Lost++
+			l.eng.AtLabeled(done, "link:"+l.Name+":lost", func() { l.queued-- })
+			return true
+		}
+		dup := l.Faults.Duplicate()
+		extra := l.Faults.ReorderDelay()
+		if extra > 0 {
+			l.Reordered++
+		}
+		l.eng.AtLabeled(done+l.delay+extra, "link:"+l.Name, func() {
+			l.queued--
+			l.dst.Deliver(p)
+		})
+		if dup {
+			// The copy takes the undelayed path, arriving with (or ahead
+			// of) the original.
+			l.Duplicated++
+			cp := *p
+			l.eng.AtLabeled(done+l.delay, "link:"+l.Name+":dup", func() {
+				l.dst.Deliver(&cp)
+			})
+		}
+		return true
+	}
 	l.eng.AtLabeled(done+l.delay, "link:"+l.Name, func() {
 		l.queued--
 		l.dst.Deliver(p)
@@ -178,6 +222,25 @@ func (p *Path) RegisterMetrics(r *metrics.Registry) {
 		l.RegisterMetrics(r)
 	}
 }
+
+// InstallFaults attaches a fault channel — named after each link — to every
+// link on the path. A nil plan installs nothing.
+func (p *Path) InstallFaults(plan *faults.Plan) {
+	if plan == nil {
+		return
+	}
+	for _, l := range p.links {
+		l.Faults = plan.Link(l.Name)
+	}
+}
+
+// Hops returns the number of links on the path.
+func (p *Path) Hops() int { return len(p.links) }
+
+// Hop returns the i-th link (0 = first hop). Faulting a single hop keeps
+// the end-to-end loss rate equal to the per-link rate instead of
+// compounding across hops.
+func (p *Path) Hop(i int) *Link { return p.links[i] }
 
 // Send transmits on the path's first link.
 func (p *Path) Send(pkt *Packet) bool { return p.links[0].Send(pkt) }
@@ -230,4 +293,10 @@ func NewWANEmulator(eng *sim.Engine, accessBps, bottleneckBps int64, rtt sim.Tim
 		AtoB: mkDir("a2b", b),
 		BtoA: mkDir("b2a", a),
 	}
+}
+
+// InstallFaults attaches fault channels to every link in both directions.
+func (w *WANEmulator) InstallFaults(plan *faults.Plan) {
+	w.AtoB.InstallFaults(plan)
+	w.BtoA.InstallFaults(plan)
 }

@@ -21,6 +21,7 @@ package nic
 
 import (
 	"softtimers/internal/core"
+	"softtimers/internal/faults"
 	"softtimers/internal/kernel"
 	"softtimers/internal/metrics"
 	"softtimers/internal/netstack"
@@ -101,6 +102,10 @@ type Config struct {
 	// IdleInterrupts re-enables interrupts while the CPU is idle in
 	// SoftPoll mode. Default true (the paper's design).
 	IdleInterrupts bool
+	// Faults, when set, is the receive ring's fault channel: arriving
+	// packets may be dropped before the driver sees them (ring overrun,
+	// bad checksum). Nil injects nothing.
+	Faults *faults.LinkPlan
 }
 
 // NIC is one simulated network interface attached to the server kernel.
@@ -129,7 +134,9 @@ type NIC struct {
 	TxComplInterrupts    int64
 	Polls                int64
 	PolledPackets        int64
-	batches              int64
+	// RxDropped counts packets the fault plan discarded at the ring.
+	RxDropped int64
+	batches   int64
 
 	// Telemetry: the public counters above join the kernel's registry as
 	// func instruments; the batch-size histogram and poll-interval gauge
@@ -175,6 +182,7 @@ func (n *NIC) registerMetrics() {
 	r.CounterFunc(prefix+"txcompl_interrupts", func() int64 { return n.TxComplInterrupts })
 	r.CounterFunc(prefix+"polls", func() int64 { return n.Polls })
 	r.CounterFunc(prefix+"polled_packets", func() int64 { return n.PolledPackets })
+	r.CounterFunc(prefix+"rx_dropped", func() int64 { return n.RxDropped })
 	// Batch sizes up to 256 packets per protocol pass, 1-packet buckets.
 	n.mBatch = r.Histogram(prefix+"batch_size", 1, 256)
 	n.mPollIvl = r.Gauge(prefix + "poll_interval_ns")
@@ -196,6 +204,10 @@ func (n *NIC) PollInterval() sim.Time { return n.pollIvl }
 
 // Deliver implements netstack.Endpoint: a packet arrives from the wire.
 func (n *NIC) Deliver(p *netstack.Packet) {
+	if n.cfg.Faults.Drop() {
+		n.RxDropped++
+		return
+	}
 	n.RxPackets++
 	n.rxring = append(n.rxring, p)
 	switch n.cfg.Mode {

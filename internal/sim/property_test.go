@@ -1,0 +1,271 @@
+// Property-based invariant tests for the event engine: randomized
+// schedule/cancel/fire/run sequences checked against a reference model.
+// Each seed is its own subtest, so a failure shrinks by replay — rerun
+// just the failing sequence with
+//
+//	go test ./internal/sim -run 'TestEngineProperties/clean/seed=N' -v
+//
+// The "faultplan" variant draws its operation sequence from a fault plan's
+// split-seed stream instead of a bare RNG, proving the invariants hold
+// under the same generator the fault-injection layer perturbs the
+// substrate with (external test package: faults imports sim).
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"softtimers/internal/faults"
+	"softtimers/internal/sim"
+)
+
+// schedInfo is the model's record of one scheduled event.
+type schedInfo struct {
+	at    sim.Time
+	order int // global scheduling order; FIFO tie-break among equal at
+}
+
+type fireRec struct {
+	id int
+	at sim.Time
+}
+
+// propModel drives an engine with random operations while mirroring the
+// set of live events, and checks the engine against the mirror after every
+// operation.
+type propModel struct {
+	t   *testing.T
+	eng *sim.Engine
+	rng *sim.RNG
+
+	live    map[int]sim.Event
+	liveIDs []int
+	dead    []sim.Event // fired or canceled handles, kept to probe staleness
+	sched   map[int]schedInfo
+	fired   []fireRec
+
+	nextID    int
+	nextOrder int
+	canceled  int
+	maxLive   int
+}
+
+func newPropModel(t *testing.T, eng *sim.Engine, rng *sim.RNG) *propModel {
+	return &propModel{
+		t: t, eng: eng, rng: rng,
+		live:  map[int]sim.Event{},
+		sched: map[int]schedInfo{},
+	}
+}
+
+// schedule adds one event at a random offset — zero with some probability,
+// so same-instant FIFO ordering is exercised constantly.
+func (m *propModel) schedule() {
+	var d sim.Time
+	if m.rng.Float64() >= 0.2 {
+		d = sim.Time(m.rng.Intn(1000))
+	}
+	id := m.nextID
+	m.nextID++
+	m.nextOrder++
+	m.sched[id] = schedInfo{at: m.eng.Now() + d, order: m.nextOrder}
+	ev := m.eng.AfterLabeled(d, fmt.Sprintf("prop:%d", id), m.onFire(id))
+	if ev.At() != m.eng.Now()+d {
+		m.t.Fatalf("event %d: At() = %v, want %v", id, ev.At(), m.eng.Now()+d)
+	}
+	m.live[id] = ev
+	m.liveIDs = append(m.liveIDs, id)
+	if len(m.live) > m.maxLive {
+		m.maxLive = len(m.live)
+	}
+}
+
+// onFire is event id's handler: it validates timing, retires the handle,
+// and sometimes schedules or cancels from inside the handler — the pattern
+// the kernel and TCP layers use constantly.
+func (m *propModel) onFire(id int) func() {
+	return func() {
+		info := m.sched[id]
+		if m.eng.Now() != info.at {
+			m.t.Fatalf("event %d fired at %v, scheduled for %v", id, m.eng.Now(), info.at)
+		}
+		ev, ok := m.live[id]
+		if !ok {
+			m.t.Fatalf("event %d fired but model thinks it is not live (double fire or fired after cancel)", id)
+		}
+		if ev.Pending() {
+			m.t.Fatalf("event %d still Pending inside its own handler", id)
+		}
+		m.retire(id)
+		m.fired = append(m.fired, fireRec{id: id, at: m.eng.Now()})
+		switch r := m.rng.Float64(); {
+		case r < 0.3:
+			m.schedule()
+		case r < 0.4:
+			m.cancelLive()
+		}
+	}
+}
+
+// retire moves id from the live set to the dead pile.
+func (m *propModel) retire(id int) {
+	m.dead = append(m.dead, m.live[id])
+	delete(m.live, id)
+	for i, v := range m.liveIDs {
+		if v == id {
+			m.liveIDs[i] = m.liveIDs[len(m.liveIDs)-1]
+			m.liveIDs = m.liveIDs[:len(m.liveIDs)-1]
+			break
+		}
+	}
+}
+
+// cancelLive cancels a random live event and checks Cancel's contract.
+func (m *propModel) cancelLive() {
+	if len(m.liveIDs) == 0 {
+		return
+	}
+	id := m.liveIDs[m.rng.Intn(len(m.liveIDs))]
+	ev := m.live[id]
+	if !ev.Pending() {
+		m.t.Fatalf("live event %d not Pending before cancel", id)
+	}
+	if !ev.Cancel() {
+		m.t.Fatalf("cancel of live event %d returned false", id)
+	}
+	m.canceled++
+	m.retire(id)
+}
+
+// probeDead checks a random retired handle for inertness: no Pending, no
+// label, and Cancel a permanent no-op — even after its slot was recycled.
+func (m *propModel) probeDead() {
+	if len(m.dead) == 0 {
+		return
+	}
+	ev := m.dead[m.rng.Intn(len(m.dead))]
+	if ev.Pending() {
+		m.t.Fatal("retired handle reports Pending")
+	}
+	if ev.Cancel() {
+		m.t.Fatal("retired handle Cancel returned true (canceled a recycled slot's event?)")
+	}
+	if ev.Label() != "" {
+		m.t.Fatalf("retired handle still exposes label %q", ev.Label())
+	}
+}
+
+// check compares the engine's queue depth against the model after every
+// operation — the heap must hold exactly the live set.
+func (m *propModel) check() {
+	if m.eng.Pending() != len(m.live) {
+		m.t.Fatalf("engine has %d pending events, model has %d live", m.eng.Pending(), len(m.live))
+	}
+}
+
+// run drives one full random sequence and then the end-of-run invariants.
+func (m *propModel) run(steps int) {
+	for i := 0; i < steps; i++ {
+		switch r := m.rng.Float64(); {
+		case r < 0.40:
+			m.schedule()
+		case r < 0.52:
+			m.cancelLive()
+		case r < 0.60:
+			m.probeDead()
+		case r < 0.90:
+			had := m.eng.Pending() > 0
+			if m.eng.Step() != had {
+				m.t.Fatalf("Step() = %v with %d pending", !had, m.eng.Pending())
+			}
+		default:
+			m.eng.RunFor(sim.Time(m.rng.Intn(2000)))
+		}
+		m.check()
+	}
+	m.eng.Run()
+	m.check()
+	if len(m.live) != 0 {
+		m.t.Fatalf("%d events still live after drain", len(m.live))
+	}
+
+	// Exactly-once accounting: every scheduled event fired XOR canceled.
+	if got, want := len(m.fired)+m.canceled, m.nextID; got != want {
+		m.t.Fatalf("fired %d + canceled %d = %d, scheduled %d", len(m.fired), m.canceled, got, want)
+	}
+	seen := map[int]bool{}
+	for _, r := range m.fired {
+		if seen[r.id] {
+			m.t.Fatalf("event %d fired twice", r.id)
+		}
+		seen[r.id] = true
+	}
+
+	// Heap ordering: fire times monotone; FIFO (scheduling order) among
+	// events firing at the same instant.
+	for i := 1; i < len(m.fired); i++ {
+		prev, cur := m.fired[i-1], m.fired[i]
+		if cur.at < prev.at {
+			m.t.Fatalf("fire %d at %v after fire at %v: time went backwards", cur.id, cur.at, prev.at)
+		}
+		if cur.at == prev.at && m.sched[cur.id].order < m.sched[prev.id].order {
+			m.t.Fatalf("same-instant events fired out of scheduling order: %d (order %d) before %d (order %d)",
+				prev.id, m.sched[prev.id].order, cur.id, m.sched[cur.id].order)
+		}
+	}
+
+	// The depth high-water mark must match the model's maximum live count.
+	if m.eng.MaxPending() != m.maxLive {
+		m.t.Fatalf("MaxPending() = %d, model max live %d", m.eng.MaxPending(), m.maxLive)
+	}
+
+	// Free-list non-aliasing: force every recycled slot back into service,
+	// then verify the retired handles stayed inert (their generation must
+	// mismatch the reused slots).
+	if m.eng.FreeListLen() == 0 {
+		m.t.Fatal("no recycled events after a full run")
+	}
+	refill := m.eng.FreeListLen() + 16
+	for i := 0; i < refill; i++ {
+		m.eng.After(sim.Time(i), func() {})
+	}
+	for _, ev := range m.dead {
+		if ev.Pending() || ev.Cancel() || ev.Label() != "" {
+			m.t.Fatal("retired handle became live again after its slot was reused")
+		}
+	}
+	m.eng.Run()
+}
+
+// TestEngineProperties runs the model under both randomness sources.
+func TestEngineProperties(t *testing.T) {
+	const steps = 600
+	hostile := faults.Spec{
+		Drop: 0.05, Dup: 0.02, Reorder: 0.03,
+		IntrJitterMax: 5 * sim.Microsecond, IntrCoalesce: 0.1,
+		WorkJitter: 0.25, Starve: 0.5,
+	}
+	for seed := uint64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("clean/seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			eng := sim.NewEngine(seed)
+			newPropModel(t, eng, sim.NewRNG(seed*0x9e37)).run(steps)
+		})
+		t.Run(fmt.Sprintf("faultplan/seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			eng := sim.NewEngine(seed)
+			rng := faults.New(seed, hostile).Stream("sim.property")
+			newPropModel(t, eng, rng).run(steps)
+		})
+	}
+}
+
+// TestZeroEventInert pins the documented zero-value semantics the model
+// relies on.
+func TestZeroEventInert(t *testing.T) {
+	var ev sim.Event
+	if ev.Pending() || ev.Cancel() || ev.Label() != "" || ev.At() != 0 {
+		t.Fatal("zero Event is not inert")
+	}
+}
