@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench metrics-smoke trace-smoke fuzz-smoke scenario-smoke stbench clean
+.PHONY: all check vet build test race bench cover metrics-smoke trace-smoke fuzz-smoke scenario-smoke stbench clean
 
 # Per-target budget for the fuzz smoke (CI passes a longer one).
 FUZZTIME ?= 30s
@@ -17,7 +17,7 @@ build:
 	$(GO) build ./...
 
 test: metrics-smoke trace-smoke
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The engine pool and the parallel experiment runner are the
 # concurrency-sensitive packages; run them under the race detector.
@@ -28,6 +28,12 @@ race:
 bench:
 	$(GO) test -bench 'BenchmarkEngine' -benchmem -run '^$$' ./internal/sim
 	$(GO) test -bench 'BenchmarkMetrics' -benchmem -run '^$$' ./internal/metrics
+	$(GO) test -bench 'BenchmarkTestbedPacket' -benchmem -run '^$$' ./internal/topology
+
+# Statement coverage across all packages, with a per-function summary.
+cover:
+	$(GO) test -coverprofile=/tmp/softtimers-cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=/tmp/softtimers-cover.out | tail -n 1
 
 # End-to-end telemetry smoke: dump a real experiment's metrics snapshot and
 # schema-check it.

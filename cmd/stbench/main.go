@@ -74,9 +74,23 @@ func main() {
 	scenario := flag.String("scenario", "",
 		"run the degradation summary under this named fault scenario instead of -exp ("+
 			strings.Join(faults.ScenarioNames(), ", ")+")")
+	list := flag.Bool("list", false,
+		"list registered experiments and fault scenarios with descriptions, then exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments (stbench -exp <name>):")
+		for _, e := range experiments.List() {
+			fmt.Printf("  %-20s %s\n", e[0], e[1])
+		}
+		fmt.Println("\nfault scenarios (stbench -scenario <name>):")
+		for _, name := range faults.ScenarioNames() {
+			fmt.Printf("  %-20s %s\n", name, faults.DescribeScenario(name))
+		}
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -10,16 +10,17 @@ package main
 import (
 	"fmt"
 
-	"softtimers/internal/core"
-	"softtimers/internal/cpu"
+	"softtimers/internal/host"
 	"softtimers/internal/kernel"
 	"softtimers/internal/sim"
 )
 
 func main() {
 	eng := sim.NewEngine(42)
-	k := kernel.New(eng, cpu.PentiumII300(), kernel.Options{IdleLoop: false})
-	f := core.New(k, core.Options{})
+	// One call builds the machine: kernel (default P-II/300 profile) with
+	// the soft-timer facility installed as its trigger sink.
+	h := host.New(eng, host.Config{Kernel: kernel.Options{IdleLoop: false}})
+	k, f := h.K, h.F
 
 	fmt.Printf("measure_resolution()         = %d Hz\n", f.MeasureResolution())
 	fmt.Printf("interrupt_clock_resolution() = %d Hz\n", f.InterruptClockResolution())

@@ -129,6 +129,11 @@ func New(k *kernel.Kernel, opts Options) *Facility {
 	return f
 }
 
+// MaxDelayUS returns the worst observed delay beyond any event's requested
+// latency, in µs — the high-water mark the paper's bound d ≤ X+1 is
+// asserted against. Zero until an event has fired.
+func (f *Facility) MaxDelayUS() int64 { return f.overshoot.Max() }
+
 // MeasureResolution returns the measurement clock resolution in Hz.
 func (f *Facility) MeasureResolution() uint64 { return f.hz }
 

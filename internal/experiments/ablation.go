@@ -6,6 +6,7 @@ import (
 
 	"softtimers/internal/core"
 	"softtimers/internal/cpu"
+	"softtimers/internal/host"
 	"softtimers/internal/httpserv"
 	"softtimers/internal/kernel"
 	"softtimers/internal/sim"
@@ -118,11 +119,11 @@ func RunIdleAblation(sc Scale) *IdleAblationResult {
 	forEach(sc.Workers, len(policies), func(i int) {
 		pol := policies[i]
 		eng := sim.NewEngine(sc.Seed)
-		k := kernel.New(eng, cpu.PentiumII300(), kernel.Options{
+		h := host.New(eng, host.Config{Kernel: kernel.Options{
 			IdleLoop: pol.idleLoop,
 			IdleHalt: pol.idleHalt,
-		})
-		f := core.New(k, core.Options{})
+		}})
+		k, f := h.K, h.F
 		k.Start()
 		n := int64(0)
 		limit := sc.Samples / 100

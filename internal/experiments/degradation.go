@@ -20,9 +20,8 @@ package experiments
 import (
 	"fmt"
 
-	"softtimers/internal/core"
-	"softtimers/internal/cpu"
 	"softtimers/internal/faults"
+	"softtimers/internal/host"
 	"softtimers/internal/kernel"
 	"softtimers/internal/metrics"
 	"softtimers/internal/netstack"
@@ -61,8 +60,8 @@ type probeStats struct {
 func runProbeRig(sc Scale, salt uint64, spec faults.Spec) (probeStats, *metrics.Snapshot) {
 	plan := faults.New(sc.Seed+salt, spec)
 	eng := sim.NewEngine(sc.Seed + salt)
-	k := kernel.New(eng, cpu.PentiumII300(), kernel.Options{IdleLoop: true, Faults: plan})
-	f := core.New(k, core.Options{})
+	h := host.New(eng, host.Config{Kernel: kernel.Options{IdleLoop: true}, Faults: plan})
+	k, f := h.K, h.F
 
 	var loop func(p *kernel.Proc)
 	loop = func(p *kernel.Proc) {

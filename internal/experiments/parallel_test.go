@@ -133,7 +133,7 @@ func TestRunParallelPreservesNameOrder(t *testing.T) {
 // other experiments' tables intact — not crash the process from a worker
 // goroutine. This is what lets stbench exit non-zero cleanly.
 func TestRunParallelCapturesWorkerPanic(t *testing.T) {
-	registry["panicky"] = func(sc Scale) *Table { panic("deliberate test panic") }
+	registry["panicky"] = entry{run: func(sc Scale) *Table { panic("deliberate test panic") }, desc: "test-only"}
 	defer delete(registry, "panicky")
 
 	sc := tinyScale()

@@ -52,6 +52,18 @@ var scenarios = map[string]Spec{
 	},
 }
 
+// scenarioDescs are the one-line summaries stbench -list prints.
+var scenarioDescs = map[string]string{
+	"clean":   "well-behaved substrate, no faults injected",
+	"lossy":   "bad WAN path: 5% loss, light duplication and reordering",
+	"jittery": "noisy platform: late interrupts, coalesced PIT ticks, cost noise",
+	"starved": "95% of trigger-state checks suppressed; hardclock fallback rules",
+	"hostile": "everything at once: loss, reorder, jitter, 50% starvation",
+}
+
+// DescribeScenario returns the named scenario's one-line description.
+func DescribeScenario(name string) string { return scenarioDescs[name] }
+
 // LookupScenario returns the named scenario's spec.
 func LookupScenario(name string) (Spec, bool) {
 	s, ok := scenarios[name]

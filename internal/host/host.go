@@ -1,0 +1,156 @@
+// Package host bundles one simulated machine: a kernel with its CPU
+// profile, the soft-timer facility installed as the kernel's trigger sink,
+// the machine's network interfaces, and optional TCP endpoints — the unit
+// the paper calls "a machine" (server, client, or the Section 5.8 WAN
+// emulator are all full hosts in its testbed).
+//
+// Before this package, every rig hand-wired kernel+facility+NICs itself
+// (httpserv.Testbed, the degradation rigs, the examples). Host is the one
+// shared constructor: multi-node topologies (package topology) assemble N
+// hosts on a single shared sim.Engine, each with its own kernel, trigger
+// states, soft-timer wheel, fault plan, and telemetry registry, so
+// soft-timer behaviour is measurable on both ends of a flow.
+package host
+
+import (
+	"softtimers/internal/core"
+	"softtimers/internal/cpu"
+	"softtimers/internal/faults"
+	"softtimers/internal/kernel"
+	"softtimers/internal/metrics"
+	"softtimers/internal/netstack"
+	"softtimers/internal/nic"
+	"softtimers/internal/sim"
+	"softtimers/internal/tcp"
+)
+
+// Config configures one host. The zero value is a plain Pentium-II/300
+// machine with default kernel and facility options and no faults.
+type Config struct {
+	// Name identifies the host in topologies and metrics namespaces.
+	Name string
+	// Profile is the CPU cost model (zero Name: PentiumII300).
+	Profile cpu.Profile
+	// Kernel options are passed through verbatim (note IdleLoop's zero
+	// value halts the CPU when idle; saturating rigs usually want true).
+	Kernel kernel.Options
+	// Facility configures the soft-timer facility.
+	Facility core.Options
+	// Faults, when set, is this host's fault-injection plan: it is
+	// installed on the kernel (trigger starvation, interrupt jitter,
+	// CPU-cost noise) and is the default plan for links and NIC receive
+	// rings attached via AddNIC/topology wiring. Per-host plans let one
+	// node misbehave while its peers stay clean.
+	Faults *faults.Plan
+}
+
+// Host is one simulated machine on a shared engine.
+type Host struct {
+	// Name is the host's topology name ("" for single-host rigs).
+	Name string
+	// K is the machine's kernel; its metrics registry is the host's
+	// telemetry namespace.
+	K *kernel.Kernel
+	// F is the soft-timer facility installed on K.
+	F *core.Facility
+	// NICs are the machine's interfaces in attach order.
+	NICs []*nic.NIC
+
+	plan    *faults.Plan
+	started bool
+}
+
+// New builds a host on eng: kernel first, then the facility installed as
+// its trigger sink — the same order every rig used by hand, so existing
+// seeded runs replay byte-identically through this constructor.
+func New(eng *sim.Engine, cfg Config) *Host {
+	if cfg.Profile.Name == "" {
+		cfg.Profile = cpu.PentiumII300()
+	}
+	kOpts := cfg.Kernel
+	if cfg.Faults != nil {
+		kOpts.Faults = cfg.Faults
+	}
+	h := &Host{Name: cfg.Name, plan: cfg.Faults}
+	h.K = kernel.New(eng, cfg.Profile, kOpts)
+	h.F = core.New(h.K, cfg.Facility)
+	return h
+}
+
+// AddNIC creates an interface on the host transmitting into out (the wire
+// toward the peer). Zero Costs default; the receive ring's fault channel
+// comes from the host plan under nic.<name>.rx unless cfg.Faults is set.
+func (h *Host) AddNIC(cfg nic.Config, out netstack.Endpoint) *nic.NIC {
+	if cfg.Costs == (nic.Costs{}) {
+		cfg.Costs = nic.DefaultCosts()
+	}
+	if cfg.Faults == nil {
+		cfg.Faults = h.plan.Link("nic." + cfg.Name + ".rx")
+	}
+	n := nic.New(h.K, h.F, cfg, out)
+	h.NICs = append(h.NICs, n)
+	return n
+}
+
+// NIC returns the first interface (convenience for 1-NIC hosts), or nil.
+func (h *Host) NIC() *nic.NIC {
+	if len(h.NICs) == 0 {
+		return nil
+	}
+	return h.NICs[0]
+}
+
+// Start spins up the kernel and then each NIC, in attach order. Idempotent.
+func (h *Host) Start() {
+	if h.started {
+		return
+	}
+	h.started = true
+	h.K.Start()
+	for _, n := range h.NICs {
+		n.Start()
+	}
+}
+
+// Engine returns the shared simulation engine.
+func (h *Host) Engine() *sim.Engine { return h.K.Engine() }
+
+// Metrics returns the host's telemetry registry (the kernel's).
+func (h *Host) Metrics() *metrics.Registry { return h.K.Metrics() }
+
+// Snapshot captures the host's telemetry.
+func (h *Host) Snapshot() *metrics.Snapshot { return h.K.Metrics().Snapshot() }
+
+// Faults returns the host's fault plan (nil on a clean host).
+func (h *Host) Faults() *faults.Plan { return h.plan }
+
+// TCPEnv adapts one of the host's NICs to tcp.Env, so TCP endpoints
+// terminate on a real kernel: transmissions go through the NIC's kernel
+// transmit path (softirq, ip-output trigger states) and protocol timers run
+// on the engine. Use as the env for tcp.Sender/Receiver living on this
+// host.
+type TCPEnv struct {
+	H *Host
+	N *nic.NIC
+}
+
+// Env builds a TCPEnv on the i-th NIC.
+func (h *Host) Env(i int) *TCPEnv { return &TCPEnv{H: h, N: h.NICs[i]} }
+
+// Now implements tcp.Env.
+func (e *TCPEnv) Now() sim.Time { return e.H.K.Now() }
+
+// After implements tcp.Env (protocol timers; exact, engine-scheduled).
+func (e *TCPEnv) After(d sim.Time, fn func()) tcp.Canceler {
+	return tcpCanceler{e.H.Engine().After(d, fn)}
+}
+
+// Transmit implements tcp.Env: packets leave via the NIC's kernel path.
+func (e *TCPEnv) Transmit(pkts []*netstack.Packet) {
+	e.N.TxFromKernel(pkts...)
+}
+
+type tcpCanceler struct{ ev sim.Event }
+
+// Cancel implements tcp.Canceler.
+func (c tcpCanceler) Cancel() bool { return c.ev.Cancel() }

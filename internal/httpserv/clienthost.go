@@ -1,0 +1,204 @@
+package httpserv
+
+import (
+	"fmt"
+
+	"softtimers/internal/host"
+	"softtimers/internal/kernel"
+	"softtimers/internal/netstack"
+	"softtimers/internal/nic"
+	"softtimers/internal/sim"
+	"softtimers/internal/stats"
+)
+
+// ClientHost is a client machine with a real kernel: unlike ClientGen
+// (zero-cost request slots driven straight off the engine, for rigs where
+// only the server CPU is under study), its requests are issued by kernel
+// processes — connect/send/recv syscalls, receive interrupts, protocol
+// softirqs — so the client side produces trigger states and soft-timer
+// activity of its own. The fleet-scale experiment runs up to 64 of these
+// against one server to show the facility's per-host delay bound holds on
+// every kernel in a topology, not just the saturated one.
+//
+// Connections are plain HTTP (connect, one request, response, teardown),
+// the paper's non-persistent case; each slot is one kernel process cycling
+// through that script.
+type ClientHost struct {
+	// H is the underlying machine; N the interface toward the server.
+	H *host.Host
+	N *nic.NIC
+
+	cfg ClientHostConfig
+
+	// Responses counts completed responses; ResponseTimes records their
+	// latencies in milliseconds (client view, syscall to last segment).
+	Responses     int64
+	ResponseTimes *stats.Online
+
+	slots    []*chSlot
+	nextFlow int
+}
+
+// ClientHostConfig configures a ClientHost.
+type ClientHostConfig struct {
+	// Concurrency is the number of request processes (default 4).
+	Concurrency int
+	// FlowBase offsets this host's flow ids so they are unique across a
+	// fleet (host i typically uses i*1_000_000).
+	FlowBase int
+	// Segments is the expected data-segment count per response (use
+	// Server.Segments()).
+	Segments int
+	// Addr and ServerAddr stamp Src/Dst so switches can forward.
+	Addr, ServerAddr netstack.Addr
+	// HeaderBytes sizes control packets (default 52).
+	HeaderBytes int
+	// ThinkTime is the gap before a slot reconnects (default 200 µs).
+	ThinkTime sim.Time
+	// ConnectWork, SendWork and RecvWork are the syscall service times of
+	// the client's socket calls (defaults 15/10/10 µs).
+	ConnectWork, SendWork, RecvWork sim.Time
+}
+
+// chSlot is one request process's connection state.
+type chSlot struct {
+	c         *ClientHost
+	flow      int
+	got       int // data segments received this response
+	unacked   int
+	connected bool // SYNACK arrived
+	done      bool // response fully received
+	reqStart  sim.Time
+	wq        kernel.WaitQueue
+}
+
+// NewClientHost builds the client on host h, issuing requests through n
+// (one of h's NICs). It installs itself as n's receive handler.
+func NewClientHost(h *host.Host, n *nic.NIC, cfg ClientHostConfig) *ClientHost {
+	if cfg.Concurrency == 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.Segments <= 0 {
+		panic("httpserv: client host needs the response segment count")
+	}
+	if cfg.HeaderBytes == 0 {
+		cfg.HeaderBytes = 52
+	}
+	if cfg.ThinkTime <= 0 {
+		cfg.ThinkTime = 200 * sim.Microsecond
+	}
+	if cfg.ConnectWork == 0 {
+		cfg.ConnectWork = 15 * sim.Microsecond
+	}
+	if cfg.SendWork == 0 {
+		cfg.SendWork = 10 * sim.Microsecond
+	}
+	if cfg.RecvWork == 0 {
+		cfg.RecvWork = 10 * sim.Microsecond
+	}
+	c := &ClientHost{H: h, N: n, cfg: cfg, ResponseTimes: &stats.Online{}}
+	n.RxHandler = c.handleRx
+	for i := 0; i < cfg.Concurrency; i++ {
+		s := &chSlot{c: c}
+		c.slots = append(c.slots, s)
+		name := fmt.Sprintf("%s-client-%d", h.Name, i)
+		h.K.Spawn(name, s.run)
+	}
+	return c
+}
+
+// pkt builds an addressed control packet for the slot's flow.
+func (s *chSlot) pkt(kind netstack.Kind, size int) *netstack.Packet {
+	return &netstack.Packet{
+		Flow: s.flow, Src: s.c.cfg.Addr, Dst: s.c.cfg.ServerAddr,
+		Kind: kind, Size: size,
+	}
+}
+
+// run is the slot's process body: open a connection, fetch once, tear
+// down, think, repeat. Each network send goes through the kernel transmit
+// chain (ip-output trigger states on this client's kernel).
+func (s *chSlot) run(p *kernel.Proc) {
+	c := s.c
+	c.nextFlow++
+	s.flow = c.cfg.FlowBase + c.nextFlow
+	s.got, s.unacked = 0, 0
+	s.connected, s.done = false, false
+	p.Syscall("connect", c.cfg.ConnectWork, func() {
+		p.Chain(c.N.TxSteps(s.pkt(netstack.Syn, c.cfg.HeaderBytes)), func() {
+			s.awaitConnected(p)
+		})
+	})
+}
+
+// awaitConnected sleeps until the SYNACK arrives, then sends the request.
+func (s *chSlot) awaitConnected(p *kernel.Proc) {
+	if !s.connected {
+		p.Sleep(&s.wq, func() { s.awaitConnected(p) })
+		return
+	}
+	c := s.c
+	s.reqStart = c.H.K.Now()
+	p.Syscall("sendto", c.cfg.SendWork, func() {
+		p.Chain(c.N.TxSteps(s.pkt(netstack.Request, c.cfg.HeaderBytes+250)), func() {
+			s.awaitResponse(p)
+		})
+	})
+}
+
+// awaitResponse sleeps until the whole response has arrived, then runs the
+// recv syscall, records the response, and thinks before reconnecting.
+func (s *chSlot) awaitResponse(p *kernel.Proc) {
+	if !s.done {
+		p.Sleep(&s.wq, func() { s.awaitResponse(p) })
+		return
+	}
+	c := s.c
+	p.Syscall("recvfrom", c.cfg.RecvWork, func() {
+		c.Responses++
+		c.ResponseTimes.Add((c.H.K.Now() - s.reqStart).Millis())
+		// Think time: sleep, woken by an engine timer (the CPU may halt).
+		c.H.Engine().After(c.cfg.ThinkTime, func() { s.wq.WakeOne() })
+		p.Sleep(&s.wq, func() { s.run(p) })
+	})
+}
+
+// handleRx demultiplexes packets from the server to slots, in kernel
+// protocol context. ACKs and the FIN handshake are generated here, as a
+// real TCP input path would.
+func (c *ClientHost) handleRx(p *netstack.Packet) {
+	var slot *chSlot
+	for _, s := range c.slots {
+		if s.flow == p.Flow {
+			slot = s
+			break
+		}
+	}
+	if slot == nil {
+		return // late packet for a finished connection
+	}
+	switch p.Kind {
+	case netstack.SynAck:
+		slot.connected = true
+		slot.wq.WakeOne()
+	case netstack.Data:
+		slot.got++
+		slot.unacked++
+		if slot.unacked >= 2 || slot.got >= c.cfg.Segments {
+			slot.unacked = 0
+			ack := slot.pkt(netstack.Ack, c.cfg.HeaderBytes)
+			ack.AckSeq = int64(slot.got)
+			c.N.TxFromKernel(ack)
+		}
+		if slot.got >= c.cfg.Segments && !slot.done {
+			slot.done = true
+			slot.wq.WakeOne()
+		}
+	case netstack.Fin:
+		// Four-way teardown: ACK the server's FIN and close our side.
+		c.N.TxFromKernel(
+			slot.pkt(netstack.Ack, c.cfg.HeaderBytes),
+			slot.pkt(netstack.Fin, c.cfg.HeaderBytes),
+		)
+	}
+}

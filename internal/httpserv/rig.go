@@ -6,11 +6,13 @@ import (
 	"softtimers/internal/core"
 	"softtimers/internal/cpu"
 	"softtimers/internal/faults"
+	"softtimers/internal/host"
 	"softtimers/internal/kernel"
 	"softtimers/internal/metrics"
 	"softtimers/internal/netstack"
 	"softtimers/internal/nic"
 	"softtimers/internal/sim"
+	"softtimers/internal/topology"
 )
 
 // Testbed assembles the paper's LAN experiment setup: a server machine
@@ -18,6 +20,14 @@ import (
 // machines connected by switched 100 Mbps Ethernet, with a saturating
 // request load. Flows are pinned to NICs by id, one client group per
 // interface, as in the paper's four-NIC Table 8 machine.
+//
+// Testbed is now a thin wrapper over the host/topology layer: the server
+// machine is a host.Host and the per-NIC duplex links are topology ports,
+// assembled in the exact order the old hand-wiring used so existing seeded
+// scenarios replay byte-identically. The clients remain the synthetic
+// ClientGen (their CPUs are not under study here); experiments that need
+// real client kernels build a multi-host topology instead (see the
+// fleet-scale experiment).
 type Testbed struct {
 	Eng     *sim.Engine
 	K       *kernel.Kernel
@@ -26,6 +36,11 @@ type Testbed struct {
 	NICs    []*nic.NIC
 	Server  *Server
 	Clients *ClientGen
+
+	// Net and ServerHost expose the underlying topology and server
+	// machine for callers composing beyond the classic single-server rig.
+	Net        *topology.Topology
+	ServerHost *host.Host
 
 	started bool
 }
@@ -57,9 +72,6 @@ type TestbedConfig struct {
 
 // NewTestbed wires everything together. Call Run to execute.
 func NewTestbed(cfg TestbedConfig) *Testbed {
-	if cfg.Profile.Name == "" {
-		cfg.Profile = cpu.PentiumII300()
-	}
 	if cfg.Concurrency == 0 {
 		cfg.Concurrency = 32
 	}
@@ -69,23 +81,25 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	if cfg.LinkDelay == 0 {
 		cfg.LinkDelay = 30 * sim.Microsecond
 	}
-	if cfg.NIC.Costs == (nic.Costs{}) {
-		cfg.NIC.Costs = nic.DefaultCosts()
-	}
 	kOpts := cfg.Kernel
 	if !kOpts.IdleLoop {
 		kOpts.IdleLoop = true
 	}
-	if cfg.Faults != nil {
-		kOpts.Faults = cfg.Faults
-	}
-
 	if cfg.NICCount == 0 {
 		cfg.NICCount = 1
 	}
+
 	tb := &Testbed{Eng: sim.NewEngine(cfg.Seed + 1)}
-	tb.K = kernel.New(tb.Eng, cfg.Profile, kOpts)
-	tb.F = core.New(tb.K, cfg.Facility)
+	tb.Net = topology.New(tb.Eng)
+	tb.ServerHost = tb.Net.AddHost(host.Config{
+		Name:     "server",
+		Profile:  cfg.Profile,
+		Kernel:   kOpts,
+		Facility: cfg.Facility,
+		Faults:   cfg.Faults,
+	})
+	tb.K = tb.ServerHost.K
+	tb.F = tb.ServerHost.F
 
 	// Client side and links: one duplex link pair per NIC; flows are
 	// pinned to interfaces by id, matching the server's routing. The
@@ -96,18 +110,17 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	upLinks := make([]*netstack.Link, cfg.NICCount)
 	for i := 0; i < cfg.NICCount; i++ {
 		name := fmt.Sprintf("%d", i)
-		downLink := netstack.NewLink(tb.Eng, "down"+name, cfg.LinkBps, cfg.LinkDelay, clientSide)
-		downLink.Faults = cfg.Faults.Link("link.down" + name)
-		downLink.RegisterMetrics(tb.K.Metrics())
 		nicCfg := cfg.NIC
 		nicCfg.Name = "nic" + name
-		nicCfg.Faults = cfg.Faults.Link("nic.nic" + name + ".rx")
-		n := nic.New(tb.K, tb.F, nicCfg, downLink)
-		tb.NICs = append(tb.NICs, n)
-		upLinks[i] = netstack.NewLink(tb.Eng, "up"+name, cfg.LinkBps, cfg.LinkDelay, n)
-		upLinks[i].Faults = cfg.Faults.Link("link.up" + name)
-		upLinks[i].RegisterMetrics(tb.K.Metrics())
+		port := tb.Net.AttachNIC(tb.ServerHost, nicCfg, clientSide, topology.WireSpec{
+			Bps:      cfg.LinkBps,
+			Delay:    cfg.LinkDelay,
+			DownName: "down" + name,
+			UpName:   "up" + name,
+		})
+		upLinks[i] = port.Up
 	}
+	tb.NICs = tb.ServerHost.NICs
 	tb.NIC = tb.NICs[0]
 
 	tb.Server = NewServerMulti(tb.K, tb.F, tb.NICs, cfg.Server)
@@ -152,10 +165,7 @@ func (tb *Testbed) Start() {
 		return
 	}
 	tb.started = true
-	tb.K.Start()
-	for _, n := range tb.NICs {
-		n.Start()
-	}
+	tb.ServerHost.Start()
 	tb.Server.Start()
 	tb.Clients.Start()
 }

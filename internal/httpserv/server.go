@@ -123,8 +123,9 @@ func (c *Config) setDefaults() {
 // conn is the server-side connection state.
 type conn struct {
 	flow    int
-	fresh   bool // no request served yet on this connection
-	pending bool // a request is waiting for a worker
+	peer    netstack.Addr // client host address, for switched topologies
+	fresh   bool          // no request served yet on this connection
+	pending bool          // a request is waiting for a worker
 }
 
 // Server is the simulated web server.
@@ -133,6 +134,11 @@ type Server struct {
 	f    *core.Facility
 	nics []*nic.NIC
 	cfg  Config
+
+	// Addr is the server's host address, stamped as Src on every reply so
+	// switches can forward by address. Zero (the default) leaves packets
+	// unaddressed — correct for the point-to-point testbed links.
+	Addr netstack.Addr
 
 	conns    map[int]*conn
 	reqQ     []*conn
@@ -220,21 +226,26 @@ func (s *Server) segments() int {
 	return 1 + (s.cfg.FileBytes+s.cfg.MSS-1)/s.cfg.MSS
 }
 
+// Segments exposes the per-response data-segment count for clients that
+// must know when a response is complete.
+func (s *Server) Segments() int { return s.segments() }
+
 // handleRx is the protocol-input handler, running in kernel rx context.
 func (s *Server) handleRx(p *netstack.Packet) {
 	switch p.Kind {
 	case netstack.Syn:
-		c := &conn{flow: p.Flow, fresh: true}
+		c := &conn{flow: p.Flow, peer: p.Src, fresh: true}
 		s.conns[p.Flow] = c
 		s.nicFor(p.Flow).TxFromKernel(&netstack.Packet{
-			Flow: p.Flow, Kind: netstack.SynAck, Size: s.cfg.HeaderBytes,
+			Flow: p.Flow, Src: s.Addr, Dst: p.Src,
+			Kind: netstack.SynAck, Size: s.cfg.HeaderBytes,
 		})
 	case netstack.Request:
 		c := s.conns[p.Flow]
 		if c == nil {
 			// Persistent connections may predate the server (warm
 			// start); adopt them.
-			c = &conn{flow: p.Flow, fresh: false}
+			c = &conn{flow: p.Flow, peer: p.Src, fresh: false}
 			s.conns[p.Flow] = c
 		}
 		if c.pending {
@@ -244,14 +255,16 @@ func (s *Server) handleRx(p *netstack.Packet) {
 		s.reqQ = append(s.reqQ, c)
 		// ACK the request segment (TCP acks data carrying a push).
 		s.nicFor(p.Flow).TxFromKernel(&netstack.Packet{
-			Flow: p.Flow, Kind: netstack.Ack, Size: s.cfg.HeaderBytes,
+			Flow: p.Flow, Src: s.Addr, Dst: c.peer,
+			Kind: netstack.Ack, Size: s.cfg.HeaderBytes,
 		})
 		s.workerWQ.WakeOne()
 	case netstack.Ack:
 		// Window bookkeeping only; cost charged in the rx path.
 	case netstack.Fin:
 		s.nicFor(p.Flow).TxFromKernel(&netstack.Packet{
-			Flow: p.Flow, Kind: netstack.Ack, Size: s.cfg.HeaderBytes,
+			Flow: p.Flow, Src: s.Addr, Dst: p.Src,
+			Kind: netstack.Ack, Size: s.cfg.HeaderBytes,
 		})
 		delete(s.conns, p.Flow)
 	}
@@ -319,7 +332,7 @@ func (s *Server) responsePackets(c *conn) []*netstack.Packet {
 	nseg := s.segments()
 	pkts := make([]*netstack.Packet, 0, nseg+1)
 	pkts = append(pkts, &netstack.Packet{ // HTTP response headers
-		Flow: c.flow, Kind: netstack.Data, Seq: 0,
+		Flow: c.flow, Src: s.Addr, Dst: c.peer, Kind: netstack.Data, Seq: 0,
 		Size: 290 + s.cfg.HeaderBytes, Payload: 290,
 	})
 	remaining := s.cfg.FileBytes
@@ -330,12 +343,14 @@ func (s *Server) responsePackets(c *conn) []*netstack.Packet {
 		}
 		remaining -= payload
 		pkts = append(pkts, &netstack.Packet{
-			Flow: c.flow, Kind: netstack.Data, Seq: int64(i),
+			Flow: c.flow, Src: s.Addr, Dst: c.peer, Kind: netstack.Data, Seq: int64(i),
 			Size: payload + s.cfg.HeaderBytes, Payload: payload,
 		})
 	}
 	if !s.cfg.Persistent {
-		pkts = append(pkts, &netstack.Packet{Flow: c.flow, Kind: netstack.Fin, Size: s.cfg.HeaderBytes})
+		pkts = append(pkts, &netstack.Packet{
+			Flow: c.flow, Src: s.Addr, Dst: c.peer, Kind: netstack.Fin, Size: s.cfg.HeaderBytes,
+		})
 	}
 	return pkts
 }

@@ -412,6 +412,29 @@ func mergeHistogram(a, b HistogramSnapshot) HistogramSnapshot {
 	return out
 }
 
+// Prefixed returns a copy of the snapshot with every instrument name
+// prefixed — how multi-host topologies give each host its own namespace
+// (host.<name>.kernel.syscalls, ...) inside one merged snapshot.
+// Histogram bucket slices are shared with the receiver; snapshots are
+// read-only views, so the aliasing is safe.
+func (s *Snapshot) Prefixed(prefix string) *Snapshot {
+	out := &Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]GaugeSnapshot, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[prefix+name] = v
+	}
+	for name, g := range s.Gauges {
+		out.Gauges[prefix+name] = g
+	}
+	for name, h := range s.Histograms {
+		out.Histograms[prefix+name] = h
+	}
+	return out
+}
+
 // NewSnapshot returns an empty snapshot, ready to Merge into.
 func NewSnapshot() *Snapshot {
 	return &Snapshot{

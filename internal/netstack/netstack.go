@@ -39,17 +39,25 @@ func (k Kind) String() string {
 	return kindNames[k]
 }
 
+// Addr is a host address on the simulated network. Topologies assign
+// addresses in host-creation order starting at 1; the zero value means
+// "unaddressed" and is what single-host rigs (which never consult
+// addresses) leave in place. A switch receiving a packet for an unknown
+// address — including 0 — counts a miss and drops it.
+type Addr int
+
 // Packet is a network packet. Sequence numbers are in whole segments, the
 // unit the paper's tables use (packets of 1448 payload bytes).
 type Packet struct {
-	Flow    int // connection identifier
-	Kind    Kind
-	Seq     int64 // segment index for Data; meaningless otherwise
-	AckSeq  int64 // cumulative segments acknowledged, for Ack
-	Size    int   // wire size in bytes (payload + headers)
-	Payload int   // payload bytes
-	SentAt  sim.Time
-	Info    any // protocol-private data
+	Flow     int  // connection identifier
+	Src, Dst Addr // host addresses, for switched (multi-node) topologies
+	Kind     Kind
+	Seq      int64 // segment index for Data; meaningless otherwise
+	AckSeq   int64 // cumulative segments acknowledged, for Ack
+	Size     int   // wire size in bytes (payload + headers)
+	Payload  int   // payload bytes
+	SentAt   sim.Time
+	Info     any // protocol-private data
 }
 
 // Endpoint receives packets: a host's input path or the next hop.

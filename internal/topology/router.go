@@ -1,0 +1,59 @@
+package topology
+
+import (
+	"softtimers/internal/host"
+	"softtimers/internal/netstack"
+	"softtimers/internal/nic"
+)
+
+// Router is the paper's laboratory "WAN emulator" intermediate recast as
+// just another Host: a full machine whose interfaces receive packets
+// through the normal kernel receive path (interrupts or soft-timer
+// polling, protocol softirqs — all trigger states on the router's own
+// kernel) and forward them out the interface toward the destination. WAN
+// delay and bottleneck bandwidth come from the router's egress links, as
+// they did in netstack.WANEmulator; what changes is that the intermediate
+// now has a CPU, a soft-timer facility, and a fault plan of its own.
+type Router struct {
+	// H is the underlying host.
+	H *host.Host
+
+	routes map[netstack.Addr]*nic.NIC
+
+	// Forwarded and Misses count routed and address-miss packets.
+	Forwarded int64
+	Misses    int64
+}
+
+// AddRouter builds a router host on the topology.
+func (t *Topology) AddRouter(cfg host.Config) *Router {
+	r := &Router{H: t.AddHost(cfg), routes: make(map[netstack.Addr]*nic.NIC)}
+	t.routers = append(t.routers, r)
+	return r
+}
+
+// Attach wires a router interface toward peer and installs the forwarding
+// handler on it. Routes are added separately with Route.
+func (t *Topology) Attach(r *Router, nicCfg nic.Config, peer netstack.Endpoint, w WireSpec) *Port {
+	p := t.AttachNIC(r.H, nicCfg, peer, w)
+	p.NIC.RxHandler = r.forward
+	return p
+}
+
+// Route directs packets for dst out the given interface.
+func (r *Router) Route(dst netstack.Addr, out *nic.NIC) {
+	r.routes[dst] = out
+}
+
+// forward runs in the router kernel's protocol context: look up the egress
+// interface and retransmit through its kernel path (charged to the
+// router's CPU as a transmit softirq).
+func (r *Router) forward(p *netstack.Packet) {
+	out, ok := r.routes[p.Dst]
+	if !ok {
+		r.Misses++
+		return
+	}
+	r.Forwarded++
+	out.TxFromKernel(p)
+}

@@ -1,0 +1,93 @@
+package topology
+
+import (
+	"softtimers/internal/core"
+	"softtimers/internal/cpu"
+	"softtimers/internal/faults"
+	"softtimers/internal/host"
+	"softtimers/internal/kernel"
+	"softtimers/internal/nic"
+	"softtimers/internal/sim"
+)
+
+// HostSpec declares one host of a topology.
+type HostSpec struct {
+	Name     string
+	Profile  cpu.Profile
+	Kernel   kernel.Options
+	Facility core.Options
+	// Faults, when set, gives this host its own fault plan, seeded
+	// deterministically from (topology seed, host name) — one node can
+	// misbehave while its peers stay clean.
+	Faults *faults.Spec
+}
+
+// SwitchSpec declares one switch and the hosts on it. Every member gets a
+// NIC from the (per-member-defaulted) template and a duplex link pair to
+// the switch.
+type SwitchSpec struct {
+	Name    string
+	Members []string
+	// Bps and Delay describe each member's link (defaults 100 Mbps, 30 µs).
+	Bps   int64
+	Delay sim.Time
+	// NIC is the per-member interface template; an empty Name defaults to
+	// the switch name (interface names are per-host).
+	NIC nic.Config
+}
+
+// Spec declares an N-node topology: hosts in address order, then switches
+// wiring them together. Assembly order is part of the determinism
+// contract — the same Spec and seed always build the same event order.
+type Spec struct {
+	// Seed seeds the shared engine and every per-host fault plan.
+	Seed     uint64
+	Hosts    []HostSpec
+	Switches []SwitchSpec
+}
+
+// hashName folds a host name into a 64-bit salt (FNV-1a), so per-host
+// fault plans draw from streams independent of host order.
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Build assembles the declared topology on a fresh engine seeded with
+// spec.Seed. Hosts are created in declaration order (fixing addresses),
+// then each switch joins its members in listed order. Unknown member
+// names panic — they are assembly bugs, not runtime conditions.
+func Build(spec Spec) *Topology {
+	t := New(sim.NewEngine(spec.Seed))
+	for _, hs := range spec.Hosts {
+		cfg := host.Config{
+			Name:     hs.Name,
+			Profile:  hs.Profile,
+			Kernel:   hs.Kernel,
+			Facility: hs.Facility,
+		}
+		if hs.Faults != nil {
+			cfg.Faults = faults.New(spec.Seed^hashName(hs.Name), *hs.Faults)
+		}
+		t.AddHost(cfg)
+	}
+	for _, ss := range spec.Switches {
+		sw := t.AddSwitch(ss.Name)
+		for _, member := range ss.Members {
+			h := t.Host(member)
+			if h == nil {
+				panic("topology: switch " + ss.Name + " references unknown host " + member)
+			}
+			nicCfg := ss.NIC
+			if nicCfg.Name == "" {
+				nicCfg.Name = ss.Name
+			}
+			t.Join(sw, h, nicCfg, WireSpec{Bps: ss.Bps, Delay: ss.Delay})
+		}
+	}
+	return t
+}

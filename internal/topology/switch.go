@@ -1,0 +1,64 @@
+package topology
+
+import (
+	"fmt"
+
+	"softtimers/internal/metrics"
+	"softtimers/internal/netstack"
+)
+
+// Switch forwards packets by destination address: a LAN switch whose ports
+// are the receive links of the hosts joined to it. Switching itself is
+// cut-through and free — serialization and propagation costs live on the
+// links, as in the single-server testbed — so a host-switch-host path costs
+// two link traversals.
+//
+// A packet whose destination has no forwarding entry (including the zero
+// Addr of unaddressed packets) is dropped and counted as a miss; silent
+// blackholing would make topology bugs look like congestion.
+type Switch struct {
+	Name string
+
+	table map[netstack.Addr]netstack.Endpoint
+
+	// Forwarded and Misses count switched and address-miss packets.
+	Forwarded int64
+	Misses    int64
+}
+
+// NewSwitch creates an empty switch.
+func NewSwitch(name string) *Switch {
+	return &Switch{Name: name, table: make(map[netstack.Addr]netstack.Endpoint)}
+}
+
+// Connect installs a forwarding entry: packets for addr go to port (the
+// link toward that host). Duplicate entries panic — two hosts sharing an
+// address is an assembly bug.
+func (s *Switch) Connect(addr netstack.Addr, port netstack.Endpoint) {
+	if addr == 0 {
+		panic("topology: switch entry for the zero address")
+	}
+	if _, dup := s.table[addr]; dup {
+		panic(fmt.Sprintf("topology: switch %q already has an entry for address %d", s.Name, addr))
+	}
+	s.table[addr] = port
+}
+
+// Deliver implements netstack.Endpoint: forward by destination address.
+func (s *Switch) Deliver(p *netstack.Packet) {
+	port, ok := s.table[p.Dst]
+	if !ok {
+		s.Misses++
+		return
+	}
+	s.Forwarded++
+	port.Deliver(p)
+}
+
+// RegisterMetrics exposes the switch's counters on a registry under
+// switch.<name>.
+func (s *Switch) RegisterMetrics(r *metrics.Registry) {
+	prefix := "switch." + s.Name + "."
+	r.CounterFunc(prefix+"forwarded", func() int64 { return s.Forwarded })
+	r.CounterFunc(prefix+"misses", func() int64 { return s.Misses })
+}

@@ -1,0 +1,195 @@
+// Package topology assembles multi-node networks of simulated hosts on one
+// shared deterministic event engine: named hosts (package host), duplex
+// links with finite bandwidth and delay, switches forwarding by destination
+// address, and the paper's Section 5.8 "WAN emulator" intermediate as just
+// another host that routes between its interfaces.
+//
+// The paper's testbed is inherently multi-machine — server, client fleet,
+// and the WAN-emulator router are all full FreeBSD hosts — so soft-timer
+// behaviour is measurable on both ends of a flow: every host has its own
+// kernel, trigger states, soft-timer facility, fault plan, and telemetry
+// namespace, while all of them share a single sim.Engine and therefore a
+// single replayable event order.
+//
+// Assembly comes in two forms: the imperative primitives here (AddHost,
+// AttachNIC, Join) used where exact wiring order matters, and the
+// declarative Spec/Build layer in spec.go for N-node topologies
+// (server + K client hosts + optional intermediate).
+package topology
+
+import (
+	"fmt"
+
+	"softtimers/internal/faults"
+	"softtimers/internal/host"
+	"softtimers/internal/metrics"
+	"softtimers/internal/netstack"
+	"softtimers/internal/nic"
+	"softtimers/internal/sim"
+)
+
+// Topology is one multi-node network on a shared engine.
+type Topology struct {
+	// Eng is the shared event engine all hosts run on.
+	Eng *sim.Engine
+
+	hosts    []*host.Host
+	byName   map[string]*host.Host
+	addrs    map[string]netstack.Addr
+	ports    map[string][]*Port
+	switches []*Switch
+	routers  []*Router
+}
+
+// New creates an empty topology on eng.
+func New(eng *sim.Engine) *Topology {
+	return &Topology{
+		Eng:    eng,
+		byName: make(map[string]*host.Host),
+		addrs:  make(map[string]netstack.Addr),
+		ports:  make(map[string][]*Port),
+	}
+}
+
+// AddHost builds a named host on the shared engine and assigns it the next
+// address (1-based, in add order — deterministic for a fixed assembly
+// sequence). Duplicate or empty names panic: addresses and metrics
+// namespaces key on them.
+func (t *Topology) AddHost(cfg host.Config) *host.Host {
+	if cfg.Name == "" {
+		panic("topology: host needs a name")
+	}
+	if _, dup := t.byName[cfg.Name]; dup {
+		panic(fmt.Sprintf("topology: duplicate host %q", cfg.Name))
+	}
+	h := host.New(t.Eng, cfg)
+	t.hosts = append(t.hosts, h)
+	t.byName[cfg.Name] = h
+	t.addrs[cfg.Name] = netstack.Addr(len(t.hosts))
+	return h
+}
+
+// Host returns the named host, or nil.
+func (t *Topology) Host(name string) *host.Host { return t.byName[name] }
+
+// Hosts returns every host in add order.
+func (t *Topology) Hosts() []*host.Host { return t.hosts }
+
+// Addr returns the named host's address (0 if unknown).
+func (t *Topology) Addr(name string) netstack.Addr { return t.addrs[name] }
+
+// Port is one host interface plus its duplex wiring: Down carries the
+// host's transmissions toward the peer, Up delivers the peer's packets into
+// the NIC.
+type Port struct {
+	NIC  *nic.NIC
+	Down *netstack.Link
+	Up   *netstack.Link
+}
+
+// Ports returns a host's ports in attach order.
+func (t *Topology) Ports(h *host.Host) []*Port { return t.ports[h.Name] }
+
+// WireSpec describes one duplex attachment: link rate and one-way delay,
+// the two link names (they key fault channels link.<name> and metric
+// prefixes), and optionally a fault plan and registry overriding the
+// host's own.
+type WireSpec struct {
+	Bps   int64
+	Delay sim.Time
+	// DownName/UpName name the transmit/receive links. Empty names default
+	// to <host>.<nic>.down / .up.
+	DownName, UpName string
+	// Faults overrides the host's plan for both links (nil: host plan).
+	Faults *faults.Plan
+	// Registry overrides where link counters register (nil: host registry).
+	Registry *metrics.Registry
+}
+
+// AttachNIC wires a new interface on h to peer with a duplex link pair, in
+// the exact order the single-server testbed always used (down link, NIC,
+// up link — construction order is part of the determinism contract).
+func (t *Topology) AttachNIC(h *host.Host, nicCfg nic.Config, peer netstack.Endpoint, w WireSpec) *Port {
+	if w.Bps == 0 {
+		w.Bps = 100_000_000
+	}
+	if w.Delay == 0 {
+		w.Delay = 30 * sim.Microsecond
+	}
+	if w.DownName == "" {
+		w.DownName = h.Name + "." + nicCfg.Name + ".down"
+	}
+	if w.UpName == "" {
+		w.UpName = h.Name + "." + nicCfg.Name + ".up"
+	}
+	plan := w.Faults
+	if plan == nil {
+		plan = h.Faults()
+	}
+	reg := w.Registry
+	if reg == nil {
+		reg = h.Metrics()
+	}
+	down := netstack.NewLink(t.Eng, w.DownName, w.Bps, w.Delay, peer)
+	down.Faults = plan.Link("link." + w.DownName)
+	down.RegisterMetrics(reg)
+	if nicCfg.Faults == nil {
+		nicCfg.Faults = plan.Link("nic." + nicCfg.Name + ".rx")
+	}
+	n := h.AddNIC(nicCfg, down)
+	up := netstack.NewLink(t.Eng, w.UpName, w.Bps, w.Delay, n)
+	up.Faults = plan.Link("link." + w.UpName)
+	up.RegisterMetrics(reg)
+	p := &Port{NIC: n, Down: down, Up: up}
+	t.ports[h.Name] = append(t.ports[h.Name], p)
+	return p
+}
+
+// AddSwitch creates a named switch on the topology.
+func (t *Topology) AddSwitch(name string) *Switch {
+	sw := NewSwitch(name)
+	t.switches = append(t.switches, sw)
+	return sw
+}
+
+// Join connects a host to a switch: a duplex link pair plus a forwarding
+// entry so packets addressed to the host are switched onto its receive
+// link. Link names default to <switch>.<host>.up/.down.
+func (t *Topology) Join(sw *Switch, h *host.Host, nicCfg nic.Config, w WireSpec) *Port {
+	if w.DownName == "" {
+		w.DownName = sw.Name + "." + h.Name + ".up" // host → switch (uplink)
+	}
+	if w.UpName == "" {
+		w.UpName = sw.Name + "." + h.Name + ".down" // switch → host
+	}
+	p := t.AttachNIC(h, nicCfg, sw, w)
+	sw.Connect(t.addrs[h.Name], p.Up)
+	return p
+}
+
+// Start spins up every host in add order. Call after assembly, before
+// running the engine.
+func (t *Topology) Start() {
+	for _, h := range t.hosts {
+		h.Start()
+	}
+}
+
+// Snapshot captures every host's telemetry under a host.<name>. prefix and
+// every switch's and router's counters, merged into one deterministic
+// snapshot — the per-host metrics namespace for multi-node experiments.
+func (t *Topology) Snapshot() *metrics.Snapshot {
+	out := metrics.NewSnapshot()
+	for _, h := range t.hosts {
+		out.Merge(h.Snapshot().Prefixed("host." + h.Name + "."))
+	}
+	for _, sw := range t.switches {
+		out.Counters["switch."+sw.Name+".forwarded"] = sw.Forwarded
+		out.Counters["switch."+sw.Name+".misses"] = sw.Misses
+	}
+	for _, r := range t.routers {
+		out.Counters["router."+r.H.Name+".forwarded"] = r.Forwarded
+		out.Counters["router."+r.H.Name+".misses"] = r.Misses
+	}
+	return out
+}

@@ -1,8 +1,8 @@
 package workloads
 
 import (
-	"softtimers/internal/core"
 	"softtimers/internal/cpu"
+	"softtimers/internal/host"
 	"softtimers/internal/kernel"
 	"softtimers/internal/sim"
 )
@@ -10,9 +10,8 @@ import (
 // newBareRig builds a kernel+facility rig with no network testbed.
 func newBareRig(seed uint64, prof cpu.Profile) *Rig {
 	eng := sim.NewEngine(seed + 1)
-	k := kernel.New(eng, prof, kernel.Options{IdleLoop: true})
-	f := core.New(k, core.Options{})
-	return &Rig{Eng: eng, K: k, F: f}
+	h := host.New(eng, host.Config{Profile: prof, Kernel: kernel.Options{IdleLoop: true}})
+	return &Rig{Eng: eng, K: h.K, F: h.F}
 }
 
 // makeRealAudio models the RealPlayer workload: a single process that
