@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench cover metrics-smoke trace-smoke fuzz-smoke scenario-smoke stbench clean
+.PHONY: all check vet build test race bench cover metrics-smoke trace-smoke fuzz-smoke scenario-smoke shard-smoke stbench clean
 
 # Per-target budget for the fuzz smoke (CI passes a longer one).
 FUZZTIME ?= 30s
@@ -19,16 +19,18 @@ build:
 test: metrics-smoke trace-smoke
 	$(GO) test -shuffle=on ./...
 
-# The engine pool and the parallel experiment runner are the
+# The engine pool, the parallel experiment runner, and the sharded
+# executor (plus the topology/httpserv rigs that run on it) are the
 # concurrency-sensitive packages; run them under the race detector.
 race:
-	$(GO) test -race ./internal/sim ./internal/experiments
+	$(GO) test -race ./internal/sim ./internal/experiments ./internal/topology ./internal/httpserv
 
 # Engine and metrics hot-path microbenchmarks (allocation counts included).
 bench:
 	$(GO) test -bench 'BenchmarkEngine' -benchmem -run '^$$' ./internal/sim
 	$(GO) test -bench 'BenchmarkMetrics' -benchmem -run '^$$' ./internal/metrics
 	$(GO) test -bench 'BenchmarkTestbedPacket' -benchmem -run '^$$' ./internal/topology
+	$(GO) test -bench 'BenchmarkFleetSharded' -benchmem -run '^$$' ./internal/experiments
 
 # Statement coverage across all packages, with a per-function summary.
 cover:
@@ -58,6 +60,14 @@ fuzz-smoke:
 # scenario, exercising the -scenario path end to end.
 scenario-smoke:
 	$(GO) run ./cmd/stbench -scenario hostile >/dev/null
+
+# Sharded-execution smoke: the fleet-scale sweep on 1 vs 4
+# conservative-sync engines must dump byte-identical telemetry (the
+# sharding determinism contract, end to end through stbench).
+shard-smoke:
+	$(GO) run ./cmd/stbench -exp fleet-scale -scale smoke -shards 1 -metrics /tmp/stbench-shard1.json >/dev/null
+	$(GO) run ./cmd/stbench -exp fleet-scale -scale smoke -shards 4 -metrics /tmp/stbench-shard4.json >/dev/null
+	diff /tmp/stbench-shard1.json /tmp/stbench-shard4.json
 
 stbench:
 	$(GO) build -o stbench ./cmd/stbench

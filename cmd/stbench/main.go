@@ -13,6 +13,8 @@
 //	stbench -exp fig2 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	stbench -scenario hostile      # degradation summary under a named
 //	                               # fault-injection scenario
+//	stbench -exp fleet-scale -shards 4  # fleet rows on 4 conservative-sync
+//	                                    # engines (tables/telemetry unchanged)
 //
 // Experiments: fig2, fig3 (alias of fig2), sec52, table1 (incl. figure 4),
 // fig5, table2, fig6, table3, table4, table5, table6, table7, table8,
@@ -68,6 +70,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", runtime.NumCPU(),
 		"worker count for independent experiments and sweep rows (1 = fully serial)")
+	shards := flag.Int("shards", 0,
+		"engines per fleet-scale row under conservative-sync sharding (0 = legacy single engine; output unchanged)")
 	jsonPath := flag.String("json", "", "also write a machine-readable results record to this file")
 	metricsPath := flag.String("metrics", "",
 		"write each experiment's full telemetry snapshot (JSON, deterministic at any -parallel) to this file")
@@ -112,12 +116,19 @@ func main() {
 		sc = experiments.QuickScale()
 	case "full":
 		sc = experiments.FullScale()
+	case "smoke":
+		sc = experiments.SmokeScale()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scale)
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick, full or smoke)\n", *scale)
 		os.Exit(2)
 	}
 	sc.Seed = *seed
 	sc.Workers = *parallel
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "invalid -shards %d\n", *shards)
+		os.Exit(2)
+	}
+	sc.Shards = *shards
 
 	var names []string
 	if *scenario != "" {

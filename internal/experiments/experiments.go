@@ -40,9 +40,21 @@ type Scale struct {
 	// engine. 0 or 1 runs rows serially. Results are assembled in index
 	// order, so output is identical at any setting.
 	Workers int
+	// Shards, when > 0, runs each fleet-scale row on a conservative-sync
+	// shard group of that many engines (clamped to the row's host count)
+	// instead of one shared engine; it also sizes the group's worker pool
+	// from Workers. 0 keeps the legacy single-engine path. Merged
+	// telemetry, tables and traces are identical at any setting — sharding
+	// is purely a wall-clock knob.
+	Shards int
+	// FleetCounts overrides the fleet-scale client-count sweep (nil uses
+	// the default 1..64 doubling).
+	FleetCounts []int
 }
 
-// FullScale reproduces the paper's experiment sizes.
+// FullScale reproduces the paper's experiment sizes, and pushes the fleet
+// sweep past them (256- and 1024-host rows) to exercise scales only the
+// sharded engine makes affordable.
 func FullScale() Scale {
 	return Scale{
 		Seed:         1,
@@ -52,6 +64,7 @@ func FullScale() Scale {
 		PacerTrain:   100_000,
 		WANTransfers: []int64{5, 100, 1000, 10000, 100000},
 		FreqStepKHz:  10,
+		FleetCounts:  []int{1, 2, 4, 8, 16, 32, 64, 256, 1024},
 	}
 }
 
@@ -66,6 +79,19 @@ func QuickScale() Scale {
 		WANTransfers: []int64{5, 100, 1000},
 		FreqStepKHz:  25,
 	}
+}
+
+// SmokeScale is the CI smoke size: a minimal fleet sweep whose telemetry
+// the shard-smoke target diffs across shard counts in seconds. The
+// 64-host row matters: it saturates the server so same-instant arrivals
+// are routine, the regime where a broken same-instant ordering rule
+// diverges (tiny fleets pass by luck).
+func SmokeScale() Scale {
+	sc := QuickScale()
+	sc.Warmup = sc.Warmup / 2
+	sc.Measure = sc.Measure / 2
+	sc.FleetCounts = []int{1, 8, 64}
+	return sc
 }
 
 // Table is a generic rendered result: a title, column headers, and rows.

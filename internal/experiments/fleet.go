@@ -10,7 +10,9 @@ package experiments
 // and therefore see almost no trigger states.
 
 import (
+	"bytes"
 	"fmt"
+	"time"
 
 	"softtimers/internal/host"
 	"softtimers/internal/httpserv"
@@ -40,11 +42,16 @@ type FleetRow struct {
 	WorstDelay float64 // µs, max over hosts of softtimer.overshoot_max_us
 	BoundUS    float64 // the per-host bound: hardclock period + 1 tick
 	BoundOK    bool
+	// WallMS is the real time the measure window took — the sharding
+	// speedup metric. It is reported via Table.Metrics only (never in the
+	// rendered table or telemetry, which stay byte-deterministic).
+	WallMS float64 `json:"-"`
 }
 
 // FleetResult is the fleet-scale sweep.
 type FleetResult struct {
 	Rows      []FleetRow
+	Shards    int // engines per row (0 = legacy single engine)
 	Telemetry *metrics.Snapshot
 }
 
@@ -69,8 +76,39 @@ func fleetProbe(h *host.Host, rng *sim.RNG) {
 // runFleet builds and measures one fleet size: a server host and n client
 // hosts joined by one switch, every machine probed for soft-timer delay.
 func runFleet(sc Scale, salt uint64, n int) (FleetRow, *metrics.Snapshot) {
-	eng := sim.NewEngine(sc.Seed + salt)
-	t := topology.New(eng)
+	row, snap, _ := runFleetOpts(sc, salt, n, 0)
+	return row, snap
+}
+
+// runFleetOpts is runFleet plus tracing: traceCap > 0 attaches a per-host
+// execution tracer of that capacity and returns the merged Chrome trace —
+// the byte-equivalence witness for the sharded/legacy property tests.
+//
+// sc.Shards > 0 runs the topology on that many conservative-sync engines
+// (clamped to the host count): the server owns shard 0 — so its
+// construction-time RNG forks replay exactly as on the legacy shared
+// engine, which is seeded identically — and clients round-robin the rest.
+func runFleetOpts(sc Scale, salt uint64, n, traceCap int) (FleetRow, *metrics.Snapshot, []byte) {
+	seed := sc.Seed + salt
+	var t *topology.Topology
+	if sc.Shards > 0 {
+		shards := sc.Shards
+		if shards > n+1 {
+			shards = n + 1
+		}
+		g := sim.NewShardGroup(shards, seed)
+		g.Workers = sc.Workers
+		t = topology.NewSharded(g, seed)
+		t.Assign = func(i int, name string) int {
+			if i == 0 || shards == 1 {
+				return 0
+			}
+			return 1 + (i-1)%(shards-1)
+		}
+	} else {
+		t = topology.New(sim.NewEngine(seed))
+		t.SetSeed(seed)
+	}
 
 	server := t.AddHost(host.Config{
 		Name:   "server",
@@ -96,29 +134,40 @@ func runFleet(sc Scale, salt uint64, n int) (FleetRow, *metrics.Snapshot) {
 			Segments:    srv.Segments(),
 			Addr:        t.Addr(name),
 			ServerAddr:  t.Addr("server"),
+			// Stagger connection starts so hundreds of machines don't SYN
+			// the server in the same microsecond (which would pin it in
+			// interrupt context across whole hardclock periods).
+			StartDelay: sim.Time(i) * 100 * sim.Microsecond,
 		})
 		clients[i] = ch
 	}
 
-	// Probe every host, forking each probe's RNG in host order.
+	// Probe every host from its own (seed, name)-derived stream — not the
+	// engine's, whose fork order would depend on which engine the host
+	// shares with whom.
 	for _, h := range t.Hosts() {
-		fleetProbe(h, eng.Rand().Fork())
+		fleetProbe(h, h.Rand())
 	}
 
+	if traceCap > 0 {
+		t.EnableTracing(traceCap)
+	}
 	t.Start()
 	srv.Start()
 
 	// Shorter windows than the single-rig experiments: event volume grows
 	// with fleet size, and the sweep multiplies it again.
 	warmup, measure := sc.Warmup/4, sc.Measure/4
-	eng.RunFor(warmup)
+	t.RunFor(warmup)
 	c0 := srv.Completed
 	a0 := server.K.Accounting()
-	t0 := eng.Now()
-	eng.RunFor(measure)
+	t0 := t.Now()
+	wall0 := time.Now()
+	t.RunFor(measure)
+	wallMS := float64(time.Since(wall0).Microseconds()) / 1000
 	c1 := srv.Completed
 	a1 := server.K.Accounting()
-	elapsed := eng.Now() - t0
+	elapsed := t.Now() - t0
 
 	row := FleetRow{
 		Hosts:      n,
@@ -130,6 +179,7 @@ func runFleet(sc Scale, salt uint64, n int) (FleetRow, *metrics.Snapshot) {
 		SrvIntr:    float64(a1.Intr-a0.Intr) / float64(elapsed),
 		SrvSoftIRQ: float64(a1.SoftIRQ-a0.SoftIRQ) / float64(elapsed),
 		BoundUS:    hardclockPeriodUS + 1,
+		WallMS:     wallMS,
 	}
 	for i, ch := range clients {
 		m := ch.K.Meter().Hist.Mean()
@@ -152,19 +202,32 @@ func runFleet(sc Scale, salt uint64, n int) (FleetRow, *metrics.Snapshot) {
 			row.BoundOK = false
 		}
 	}
-	return row, t.Snapshot()
+	var chrome []byte
+	if traceCap > 0 {
+		var buf bytes.Buffer
+		if err := t.WriteChrome(&buf); err != nil {
+			panic(err)
+		}
+		chrome = buf.Bytes()
+	}
+	return row, t.Snapshot(), chrome
 }
 
-// RunFleetScale sweeps the client-host count. Rows are independent
-// simulations seeded from (sc.Seed, row index), so they parallelize across
-// sc.Workers with byte-identical output at any setting.
+// RunFleetScale sweeps the client-host count (sc.FleetCounts, default
+// 1..64). Rows are independent simulations seeded from (sc.Seed, row
+// index), so they parallelize across sc.Workers — and shard internally
+// across sc.Shards engines — with byte-identical output at any setting.
 func RunFleetScale(sc Scale) *FleetResult {
-	rows := make([]FleetRow, len(fleetCounts))
-	snaps := make([]*metrics.Snapshot, len(fleetCounts))
-	forEach(sc.Workers, len(fleetCounts), func(i int) {
-		rows[i], snaps[i] = runFleet(sc, 300+uint64(i), fleetCounts[i])
+	counts := sc.FleetCounts
+	if counts == nil {
+		counts = fleetCounts
+	}
+	rows := make([]FleetRow, len(counts))
+	snaps := make([]*metrics.Snapshot, len(counts))
+	forEach(sc.Workers, len(counts), func(i int) {
+		rows[i], snaps[i] = runFleet(sc, 300+uint64(i), counts[i])
 	})
-	return &FleetResult{Rows: rows, Telemetry: mergeTelemetry(snaps)}
+	return &FleetResult{Rows: rows, Shards: sc.Shards, Telemetry: mergeTelemetry(snaps)}
 }
 
 // Table renders the fleet sweep.
@@ -191,10 +254,15 @@ func (r *FleetResult) Table() *Table {
 		key := fmt.Sprintf("fleet_%d", row.Hosts)
 		t.Metrics[key+"_throughput"] = row.Throughput
 		t.Metrics[key+"_worst_delay_us"] = row.WorstDelay
+		t.Metrics[key+"_wall_ms"] = row.WallMS
 	}
 	t.Notes = append(t.Notes,
 		"every machine is a full host (own kernel, facility, probe); clients halt when idle, so their soft timers lean on the hardclock backstop",
 		fmt.Sprintf("expectation (asserted in tests): worst probe delay <= hardclock period %gus + 1 tick on every host", float64(hardclockPeriodUS)))
+	if r.Shards > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"sharded execution: each row ran on up to %d engines under conservative sync; tables, telemetry and traces are byte-identical to the single-engine path (wall time in -json metrics)", r.Shards))
+	}
 	t.Telemetry = r.Telemetry
 	return t
 }

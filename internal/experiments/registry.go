@@ -39,7 +39,7 @@ var registry = map[string]entry{
 	"degradation-starve": {func(sc Scale) *Table { return RunDegradationStarve(sc).Table() }, "soft-timer delay vs trigger-state starvation"},
 	"degradation-loss":   {func(sc Scale) *Table { return RunDegradationLoss(sc).Table() }, "paced-transfer goodput vs data-path packet loss"},
 	// Multi-node topology experiments.
-	"fleet-scale": {func(sc Scale) *Table { return RunFleetScale(sc).Table() }, "one server vs 1..64 real client kernels on a switched LAN"},
+	"fleet-scale": {func(sc Scale) *Table { return RunFleetScale(sc).Table() }, "one server vs up to 1024 real client kernels on a switched LAN (-shards N for parallel engines)"},
 }
 
 // Order fixes the presentation sequence for "all experiments".

@@ -42,6 +42,12 @@ type Config struct {
 	// rings attached via AddNIC/topology wiring. Per-host plans let one
 	// node misbehave while its peers stay clean.
 	Faults *faults.Plan
+	// Seed salts the host's private RNG stream (mixed with the name, so
+	// equally-seeded hosts still draw independently). Workload code that
+	// draws from Rand instead of the engine's streams keeps its draw
+	// sequence invariant under sharding, where hosts no longer share one
+	// engine. Zero derives the stream from the name alone.
+	Seed uint64
 }
 
 // Host is one simulated machine on a shared engine.
@@ -57,7 +63,19 @@ type Host struct {
 	NICs []*nic.NIC
 
 	plan    *faults.Plan
+	rng     *sim.RNG
 	started bool
+}
+
+// nameSalt hashes a host name with FNV-1a, the same mix topologies use for
+// address-independent per-host salts.
+func nameSalt(name string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // New builds a host on eng: kernel first, then the facility installed as
@@ -72,10 +90,17 @@ func New(eng *sim.Engine, cfg Config) *Host {
 		kOpts.Faults = cfg.Faults
 	}
 	h := &Host{Name: cfg.Name, plan: cfg.Faults}
+	h.rng = sim.NewRNG(cfg.Seed ^ nameSalt(cfg.Name))
 	h.K = kernel.New(eng, cfg.Profile, kOpts)
 	h.F = core.New(h.K, cfg.Facility)
 	return h
 }
+
+// Rand returns the host's private RNG stream. Its draw sequence depends
+// only on (Config.Seed, Config.Name) — never on which engine the host runs
+// on — so workloads seeded through it replay identically whether the
+// topology runs on one engine or sharded across several.
+func (h *Host) Rand() *sim.RNG { return h.rng }
 
 // AddNIC creates an interface on the host transmitting into out (the wire
 // toward the peer). Zero Costs default; the receive ring's fault channel

@@ -55,6 +55,12 @@ type ClientHostConfig struct {
 	HeaderBytes int
 	// ThinkTime is the gap before a slot reconnects (default 200 µs).
 	ThinkTime sim.Time
+	// StartDelay holds every slot's first connect back by this much.
+	// Large fleets stagger it per host: a thousand machines connecting in
+	// the same microsecond is a SYN storm that pins the server in
+	// interrupt context for milliseconds — an overload artifact of the
+	// synchronized start, not a property of the workload under study.
+	StartDelay sim.Time
 	// ConnectWork, SendWork and RecvWork are the syscall service times of
 	// the client's socket calls (defaults 15/10/10 µs).
 	ConnectWork, SendWork, RecvWork sim.Time
@@ -66,6 +72,7 @@ type chSlot struct {
 	flow      int
 	got       int // data segments received this response
 	unacked   int
+	started   bool // StartDelay consumed
 	connected bool // SYNACK arrived
 	done      bool // response fully received
 	reqStart  sim.Time
@@ -120,6 +127,14 @@ func (s *chSlot) pkt(kind netstack.Kind, size int) *netstack.Packet {
 // chain (ip-output trigger states on this client's kernel).
 func (s *chSlot) run(p *kernel.Proc) {
 	c := s.c
+	if !s.started {
+		s.started = true
+		if d := c.cfg.StartDelay; d > 0 {
+			c.H.Engine().After(d, func() { s.wq.WakeOne() })
+			p.Sleep(&s.wq, func() { s.run(p) })
+			return
+		}
+	}
 	c.nextFlow++
 	s.flow = c.cfg.FlowBase + c.nextFlow
 	s.got, s.unacked = 0, 0

@@ -68,6 +68,12 @@ type TestbedConfig struct {
 	// CPU-cost noise), on every LAN link (drop/dup/reorder), and on each
 	// NIC's receive ring, and its counters join the rig's registry.
 	Faults *faults.Plan
+	// Shards, when > 0, runs the rig on a conservative-sync shard group
+	// instead of the bare engine. The testbed has one host, so the group
+	// is always a single shard; the knob exists to prove the rig replays
+	// byte-identically under the sharded executor (asserted by property
+	// tests, including under hostile fault scenarios).
+	Shards int
 }
 
 // NewTestbed wires everything together. Call Run to execute.
@@ -89,8 +95,17 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 		cfg.NICCount = 1
 	}
 
-	tb := &Testbed{Eng: sim.NewEngine(cfg.Seed + 1)}
-	tb.Net = topology.New(tb.Eng)
+	tb := &Testbed{}
+	seed := cfg.Seed + 1
+	if cfg.Shards > 0 {
+		g := sim.NewShardGroup(1, seed)
+		tb.Eng = g.Engine(0)
+		tb.Net = topology.NewSharded(g, seed)
+	} else {
+		tb.Eng = sim.NewEngine(seed)
+		tb.Net = topology.New(tb.Eng)
+		tb.Net.SetSeed(seed)
+	}
 	tb.ServerHost = tb.Net.AddHost(host.Config{
 		Name:     "server",
 		Profile:  cfg.Profile,
@@ -174,14 +189,14 @@ func (tb *Testbed) Start() {
 // given duration.
 func (tb *Testbed) Run(warmup, measure sim.Time) Result {
 	tb.Start()
-	tb.Eng.RunFor(warmup)
+	tb.Net.RunFor(warmup)
 	c0 := tb.Server.Completed
 	a0 := tb.K.Accounting()
-	t0 := tb.Eng.Now()
-	tb.Eng.RunFor(measure)
+	t0 := tb.Net.Now()
+	tb.Net.RunFor(measure)
 	c1 := tb.Server.Completed
 	a1 := tb.K.Accounting()
-	elapsed := tb.Eng.Now() - t0
+	elapsed := tb.Net.Now() - t0
 	res := Result{
 		Completed:     c1 - c0,
 		Throughput:    float64(c1-c0) / elapsed.Seconds(),

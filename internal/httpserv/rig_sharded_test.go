@@ -1,0 +1,72 @@
+package httpserv
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"softtimers/internal/faults"
+	"softtimers/internal/sim"
+)
+
+// The single-server testbed must replay byte-identically on the sharded
+// executor — including under the hostile fault scenario, whose injected
+// drops, duplicates, reorders and jitter all draw from seeded streams that
+// a sharded run must not perturb. Telemetry snapshots and per-host Chrome
+// traces are the witnesses.
+func TestTestbedShardedMatchesLegacy(t *testing.T) {
+	for _, scenario := range []string{"", "hostile"} {
+		name := scenario
+		if name == "" {
+			name = "clean"
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func(shards int) (Result, int64, []byte, []byte) {
+				cfg := TestbedConfig{
+					Seed:        17,
+					Concurrency: 16,
+					Shards:      shards,
+				}
+				if scenario != "" {
+					spec, ok := faults.LookupScenario(scenario)
+					if !ok {
+						t.Fatalf("unknown scenario %q", scenario)
+					}
+					cfg.Faults = faults.New(cfg.Seed, spec)
+				}
+				tb := NewTestbed(cfg)
+				tb.Net.EnableTracing(1 << 14)
+				res := tb.Run(100*sim.Millisecond, 300*sim.Millisecond)
+				snap, err := json.Marshal(tb.Metrics())
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := tb.Net.WriteChrome(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return res, tb.Clients.Responses, snap, buf.Bytes()
+			}
+			refRes, refDone, refSnap, refChrome := run(0)
+			// Under hostile faults the no-retransmit clients wedge on their
+			// first lost packet, so the measurement window can legitimately
+			// be empty; the whole-run client-side count must not be.
+			if refDone == 0 {
+				t.Fatal("reference run completed no responses")
+			}
+			res, done, snap, chrome := run(1)
+			if done != refDone {
+				t.Errorf("client responses diverged: got %d want %d", done, refDone)
+			}
+			if res != refRes {
+				t.Errorf("result diverged:\n got %+v\nwant %+v", res, refRes)
+			}
+			if !bytes.Equal(snap, refSnap) {
+				t.Errorf("telemetry diverged from legacy (%d vs %d bytes)", len(snap), len(refSnap))
+			}
+			if !bytes.Equal(chrome, refChrome) {
+				t.Errorf("Chrome trace diverged from legacy (%d vs %d bytes)", len(chrome), len(refChrome))
+			}
+		})
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"softtimers/internal/stats"
 )
@@ -364,7 +365,13 @@ func (s *Snapshot) Merge(other *Snapshot) {
 		s.Counters[name] += v
 	}
 	for name, g := range other.Gauges {
-		cur := s.Gauges[name]
+		cur, ok := s.Gauges[name]
+		if !ok {
+			// First sighting: adopt as-is. Maxing against the zero-value
+			// GaugeSnapshot would silently clamp negative gauges to 0.
+			s.Gauges[name] = g
+			continue
+		}
 		if g.Value > cur.Value {
 			cur.Value = g.Value
 		}
@@ -433,6 +440,29 @@ func (s *Snapshot) Prefixed(prefix string) *Snapshot {
 		out.Histograms[prefix+name] = h
 	}
 	return out
+}
+
+// DropPrefix removes every instrument whose name starts with prefix.
+// Multi-host topologies use it to strip per-host instruments that read
+// engine-global state (sim.*) before namespacing: those values describe
+// the execution substrate, not the host, and differ between the legacy
+// shared engine and sharded execution.
+func (s *Snapshot) DropPrefix(prefix string) {
+	for name := range s.Counters {
+		if strings.HasPrefix(name, prefix) {
+			delete(s.Counters, name)
+		}
+	}
+	for name := range s.Gauges {
+		if strings.HasPrefix(name, prefix) {
+			delete(s.Gauges, name)
+		}
+	}
+	for name := range s.Histograms {
+		if strings.HasPrefix(name, prefix) {
+			delete(s.Histograms, name)
+		}
+	}
 }
 
 // NewSnapshot returns an empty snapshot, ready to Merge into.

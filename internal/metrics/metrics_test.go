@@ -213,3 +213,43 @@ func TestJSONDeterminism(t *testing.T) {
 		t.Fatalf("round-tripped buckets = %v", got)
 	}
 }
+
+// Regression: a gauge absent from the receiver used to merge against the
+// zero-value GaugeSnapshot, so negative values (drift, headroom) silently
+// became 0. First sighting must adopt the gauge verbatim.
+func TestMergeNegativeGaugeFirstSighting(t *testing.T) {
+	a := NewSnapshot()
+	b := NewSnapshot()
+	b.Gauges["clock.drift_ns"] = GaugeSnapshot{Value: -750, Max: -50}
+	a.Merge(b)
+	if g := a.Gauges["clock.drift_ns"]; g.Value != -750 || g.Max != -50 {
+		t.Fatalf("first-sighting merge = %+v, want {Value:-750 Max:-50}", g)
+	}
+	// Merging again still takes the pairwise max.
+	c := NewSnapshot()
+	c.Gauges["clock.drift_ns"] = GaugeSnapshot{Value: -900, Max: -10}
+	a.Merge(c)
+	if g := a.Gauges["clock.drift_ns"]; g.Value != -750 || g.Max != -10 {
+		t.Fatalf("second merge = %+v, want {Value:-750 Max:-10}", g)
+	}
+}
+
+// DropPrefix strips exactly the named namespace from every instrument map.
+func TestSnapshotDropPrefix(t *testing.T) {
+	s := NewSnapshot()
+	s.Counters["sim.events_fired"] = 10
+	s.Counters["kernel.syscalls"] = 3
+	s.Gauges["sim.events_pending"] = GaugeSnapshot{Value: 1, Max: 2}
+	s.Gauges["link.q"] = GaugeSnapshot{Value: 4, Max: 4}
+	s.Histograms["sim.h"] = HistogramSnapshot{Width: 1}
+	s.DropPrefix("sim.")
+	if len(s.Counters) != 1 || s.Counters["kernel.syscalls"] != 3 {
+		t.Fatalf("counters after drop: %v", s.Counters)
+	}
+	if len(s.Gauges) != 1 || s.Gauges["link.q"].Max != 4 {
+		t.Fatalf("gauges after drop: %v", s.Gauges)
+	}
+	if len(s.Histograms) != 0 {
+		t.Fatalf("histograms after drop: %v", s.Histograms)
+	}
+}

@@ -71,12 +71,40 @@ type EndpointFunc func(p *Packet)
 // Deliver implements Endpoint.
 func (f EndpointFunc) Deliver(p *Packet) { f(p) }
 
+// Courier ships packet deliveries whose receiving endpoint lives on
+// another simulation shard. Ship examines p at transmit time; if its
+// delivery belongs elsewhere it arranges execution there at time at (the
+// full arrival instant, serialization plus propagation — so the link's
+// propagation delay is the channel's lookahead), under the same
+// (conduit, seq) arrival-band key the link would have used locally, and
+// returns true. A false return leaves delivery on the local engine.
+// Sharded topologies install one per cross-capable link; single-engine
+// rigs leave it nil and pay one pointer test.
+type Courier interface {
+	Ship(p *Packet, at sim.Time, conduit int32, seq uint64) bool
+}
+
 // Link is a one-way link with finite bandwidth and fixed propagation delay,
 // feeding an Endpoint (the receiving host or the next link in a path). A
 // packet that arrives while earlier packets are still serializing queues
 // behind them (store-and-forward); an optional queue limit drops the tail.
 type Link struct {
 	Name string
+
+	// Courier, when set, gets first claim on each delivery at transmit
+	// time (sharded topologies route cross-shard arrivals through it).
+	// It is only consulted on links with an ArrivalConduit.
+	Courier Courier
+
+	// ArrivalConduit, when non-negative, routes this link's deliveries
+	// through the engine's arrival band: each arrival is keyed (time,
+	// conduit, seq) and fires after every ordinarily scheduled event at
+	// the same instant, wherever the receiver lives. Topologies assign
+	// conduit ids in assembly order, so the key — and with it the order of
+	// same-instant arrivals — is identical at any shard count, which is
+	// what makes sharded runs replay the single-engine event history
+	// exactly. NewLink sets -1: plain engine-event delivery.
+	ArrivalConduit int32
 
 	eng   *sim.Engine
 	bps   int64
@@ -93,8 +121,9 @@ type Link struct {
 	// nothing (one pointer test on the send path).
 	Faults *faults.LinkPlan
 
-	busyUntil sim.Time
-	queued    int
+	busyUntil  sim.Time
+	queued     int
+	arrivalSeq uint64 // per-conduit send counter, drawn at transmit time
 
 	// Counters.
 	Sent    int64
@@ -118,7 +147,7 @@ func NewLink(eng *sim.Engine, name string, bps int64, delay sim.Time, dst Endpoi
 	if dst == nil {
 		panic("netstack: link needs a destination")
 	}
-	return &Link{Name: name, eng: eng, bps: bps, delay: delay, dst: dst}
+	return &Link{Name: name, eng: eng, bps: bps, delay: delay, dst: dst, ArrivalConduit: -1}
 }
 
 // RegisterMetrics exposes the link's counters on a telemetry registry
@@ -183,26 +212,51 @@ func (l *Link) Send(p *Packet) bool {
 		if extra > 0 {
 			l.Reordered++
 		}
-		l.eng.AtLabeled(done+l.delay+extra, "link:"+l.Name, func() {
-			l.queued--
-			l.dst.Deliver(p)
-		})
+		l.deliver(p, done+l.delay+extra, "link:"+l.Name, true)
 		if dup {
 			// The copy takes the undelayed path, arriving with (or ahead
 			// of) the original.
 			l.Duplicated++
 			cp := *p
-			l.eng.AtLabeled(done+l.delay, "link:"+l.Name+":dup", func() {
-				l.dst.Deliver(&cp)
-			})
+			l.deliver(&cp, done+l.delay, "link:"+l.Name+":dup", false)
 		}
 		return true
 	}
-	l.eng.AtLabeled(done+l.delay, "link:"+l.Name, func() {
-		l.queued--
-		l.dst.Deliver(p)
-	})
+	l.deliver(p, done+l.delay, "link:"+l.Name, true)
 	return true
+}
+
+// deliver schedules p's arrival at time at; release frees the packet's
+// serialization slot then. On a conduit-assigned link the arrival itself
+// goes into the engine's arrival band under the (conduit, seq) key — or
+// across shards via the courier, which injects it into the destination
+// engine under the same key — and the slot release stays an ordinary
+// sender-side event; either way the delivery is one arrival event on the
+// receiver's engine plus at most one release event on the sender's, so
+// event totals and same-instant ordering match the single-engine path
+// exactly. Conduit-less links keep the legacy one-event path.
+func (l *Link) deliver(p *Packet, at sim.Time, label string, release bool) {
+	if l.ArrivalConduit >= 0 {
+		// The seq draw happens at transmit time in link send order, which
+		// is sender-local and therefore identical at any shard count.
+		l.arrivalSeq++
+		seq := l.arrivalSeq
+		if l.Courier == nil || !l.Courier.Ship(p, at, l.ArrivalConduit, seq) {
+			l.eng.AtArrival(at, l.ArrivalConduit, seq, label, func() { l.dst.Deliver(p) })
+		}
+		if release {
+			l.eng.AtLabeled(at, label, func() { l.queued-- })
+		}
+		return
+	}
+	if release {
+		l.eng.AtLabeled(at, label, func() {
+			l.queued--
+			l.dst.Deliver(p)
+		})
+	} else {
+		l.eng.AtLabeled(at, label, func() { l.dst.Deliver(p) })
+	}
 }
 
 // Deliver implements Endpoint so links can be chained into paths: a packet

@@ -10,7 +10,7 @@ import "fmt"
 // longer matches is inert.
 type event struct {
 	at    Time
-	seq   uint64 // tie-break: FIFO among events scheduled for the same instant
+	seq   uint64 // tie-break key; see At (FIFO band) and AtArrival (arrival band)
 	gen   uint64 // bumped on every recycle; stale handles mismatch
 	fn    func()
 	label string
@@ -280,6 +280,48 @@ func (e *Engine) AtLabeled(t Time, label string, fn func()) Event {
 	ev := e.alloc()
 	ev.at = t
 	ev.seq = e.seq
+	ev.fn = fn
+	ev.label = label
+	e.queue.push(ev)
+	return Event{e: ev, gen: ev.gen, at: t}
+}
+
+// Arrival-band keys. Ordinarily scheduled events draw seq from the
+// engine's counter, which starts at zero and can never plausibly reach
+// the band bit, so every ordinary event orders before every arrival at
+// the same instant; arrivals order among themselves by (conduit, seq).
+const (
+	arrivalBand         = uint64(1) << 63
+	arrivalConduitShift = 28
+	arrivalSeqMax       = uint64(1)<<arrivalConduitShift - 1
+)
+
+// AtArrival schedules fn in the arrival band: it runs at time t after
+// every ordinarily scheduled event at t (including ones scheduled later,
+// even during t's own processing), ordered among arrivals by (conduit,
+// seq). The key is caller-supplied and engine-independent — that is the
+// point: callers that assign conduit ids during deterministic assembly
+// and draw seq from a per-conduit send counter get the same same-instant
+// arrival order however the simulation is partitioned across engines,
+// which is the sharded executor's determinism contract. (conduit, seq)
+// pairs must be unique per pending instant; conduit must be non-negative
+// and seq at most 2^28-1 (plenty for any run, and checked).
+func (e *Engine) AtArrival(t Time, conduit int32, seq uint64, label string, fn func()) Event {
+	if fn == nil {
+		panic("sim: schedule of nil func")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: arrival at %v before now %v (conduit %d)", t, e.now, conduit))
+	}
+	if conduit < 0 {
+		panic(fmt.Sprintf("sim: negative arrival conduit %d", conduit))
+	}
+	if seq > arrivalSeqMax {
+		panic(fmt.Sprintf("sim: arrival seq %d overflows the conduit band", seq))
+	}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = arrivalBand | uint64(conduit)<<arrivalConduitShift | seq
 	ev.fn = fn
 	ev.label = label
 	e.queue.push(ev)

@@ -1,0 +1,338 @@
+package sim
+
+// Sharded execution: a ShardGroup owns N engines and advances them
+// concurrently under conservative (Chandy-Misra-Bryant style) time
+// synchronization. Each shard's clock is only ever granted up to the
+// minimum over its inbound channels of the sender's committed clock plus
+// that channel's lookahead — the minimum latency any cross-shard message
+// on the channel must carry — so no shard can receive an event in its
+// past, with no rollback machinery.
+//
+// Execution proceeds in rounds. Every round the coordinator first flushes
+// the messages emitted in strictly earlier rounds (or during assembly)
+// into their destination engines, then computes each shard's grant from
+// the clocks committed at the end of the previous round, and the shards
+// run independently (optionally on parallel worker goroutines) up to
+// their grants. Flushing only at the coordinator keeps every engine
+// single-threaded, and the grant rule guarantees each message is injected
+// strictly before its destination's clock reaches the message timestamp.
+//
+// A flushed message becomes an ordinary pending event in the destination
+// engine's arrival band (Engine.AtArrival): its heap key is (time,
+// conduit, seq), where conduit ids are assigned at topology-assembly time
+// — identical at any shard count — and seq is the conduit's send counter.
+// Arrival-band events fire after every ordinarily scheduled event at the
+// same instant, ordered among themselves by (conduit, seq); because the
+// single-engine path schedules the same deliveries with the same keys
+// through the same band, the merged event history is identical by
+// construction: independent of the worker count, the round schedule, and
+// the number of shards — including the degenerate count of one engine
+// with no group at all.
+//
+// Cross-shard hand-offs therefore add no engine events: the delivery that
+// would have been a pending event on the single engine is a pending event
+// on exactly one shard engine, so per-engine fired/pending totals sum to
+// the single-engine values.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// shardMsg is one cross-shard message: fn runs on the destination shard's
+// engine as an arrival-band event keyed (at, conduit, seq).
+type shardMsg struct {
+	at      Time
+	conduit int32
+	dst     int32
+	seq     uint64
+	fn      func()
+}
+
+// shard is one engine's slot in a ShardGroup.
+type shard struct {
+	id    int
+	eng   *Engine
+	clock Time // committed: the shard has executed everything before clock
+	grant Time // this round's horizon
+
+	out []shardMsg // messages emitted this round, flushed at the barrier
+}
+
+// ShardGroup owns N engines and runs them under conservative sync.
+type ShardGroup struct {
+	shards []*shard
+	la     [][]Time // la[src][dst]; negative means "no channel declared"
+	now    Time
+
+	// Workers bounds the goroutines running shard rounds; 0 defaults to
+	// min(N, GOMAXPROCS) and <=1 runs rounds serially. The schedule has no
+	// effect on results — only on wall clock.
+	Workers int
+
+	rounds   int64
+	messages int64
+}
+
+// NewShardGroup creates n engines. Shard 0's engine is seeded exactly
+// with seed — a single-shard group replays a legacy NewEngine(seed) run
+// byte-for-byte — and the rest draw well-separated streams from it.
+func NewShardGroup(n int, seed uint64) *ShardGroup {
+	if n <= 0 {
+		panic("sim: shard group needs at least one shard")
+	}
+	g := &ShardGroup{
+		shards: make([]*shard, n),
+		la:     make([][]Time, n),
+	}
+	for i := 0; i < n; i++ {
+		g.shards[i] = &shard{
+			id:  i,
+			eng: NewEngine(seed + uint64(i)*0x9E3779B97F4A7C15),
+		}
+		g.la[i] = make([]Time, n)
+		for j := range g.la[i] {
+			g.la[i][j] = -1
+		}
+	}
+	return g
+}
+
+// N returns the shard count.
+func (g *ShardGroup) N() int { return len(g.shards) }
+
+// Engine returns shard i's engine.
+func (g *ShardGroup) Engine(i int) *Engine { return g.shards[i].eng }
+
+// Now returns the group clock: the horizon every shard has reached.
+func (g *ShardGroup) Now() Time { return g.now }
+
+// TotalFired sums fired events across shard engines. Cross-shard messages
+// become arrival-band events on exactly one engine, so the total equals
+// the legacy single-engine count.
+func (g *ShardGroup) TotalFired() uint64 {
+	var n uint64
+	for _, s := range g.shards {
+		n += s.eng.Fired
+	}
+	return n
+}
+
+// TotalPending sums pending events across shard engines. In-flight
+// cross-shard messages are injected into destination heaps at round
+// barriers, so between Run calls the total matches the single-engine
+// pending count (where an in-flight packet is simply a future event).
+func (g *ShardGroup) TotalPending() int {
+	var n int
+	for _, s := range g.shards {
+		n += s.eng.Pending()
+	}
+	return n
+}
+
+// InFlight returns the number of cross-shard messages not yet injected
+// into their destination engines. Between Run calls it is always zero —
+// every emitted message has become a pending destination event — so it is
+// only interesting to tests poking at the machinery.
+func (g *ShardGroup) InFlight() int {
+	var n int
+	for _, s := range g.shards {
+		n += len(s.out)
+	}
+	return n
+}
+
+// Stats reports synchronization work done so far.
+func (g *ShardGroup) Stats() (rounds, messages int64) { return g.rounds, g.messages }
+
+// SetLookahead declares (or tightens) the lookahead of the src→dst
+// channel: every message sent on it must be timestamped at least d past
+// the sender's clock. d must be positive — a zero-lookahead channel would
+// deadlock conservative sync — and the effective lookahead is the minimum
+// over all declarations, so callers register each link's propagation
+// delay and the channel gets the tightest one.
+func (g *ShardGroup) SetLookahead(src, dst int, d Time) {
+	if src == dst {
+		panic("sim: lookahead from a shard to itself")
+	}
+	if d <= 0 {
+		panic(fmt.Sprintf("sim: non-positive lookahead %v for shard channel %d->%d", d, src, dst))
+	}
+	if cur := g.la[src][dst]; cur < 0 || d < cur {
+		g.la[src][dst] = d
+	}
+}
+
+// Lookahead returns the effective src→dst lookahead (negative: none).
+func (g *ShardGroup) Lookahead(src, dst int) Time { return g.la[src][dst] }
+
+// Conduit is a sender-owned cross-shard message channel. The id keys the
+// arrival-band tie-break, so callers must assign ids during deterministic
+// assembly (never mid-run) and reuse the same assignment at any shard
+// count — topologies allocate them in join order and give the same id to
+// the link's single-engine arrival path.
+type Conduit struct {
+	g   *ShardGroup
+	src int32
+	id  int32
+}
+
+// NewConduit registers a conduit sending from shard src under the given
+// arrival-band conduit id. Ids must be non-negative and should be unique
+// per message source (the (conduit, seq) key must be).
+func (g *ShardGroup) NewConduit(src int, id int32) *Conduit {
+	if src < 0 || src >= len(g.shards) {
+		panic(fmt.Sprintf("sim: conduit source shard %d out of range", src))
+	}
+	if id < 0 {
+		panic(fmt.Sprintf("sim: negative conduit id %d", id))
+	}
+	return &Conduit{g: g, src: int32(src), id: id}
+}
+
+// Send schedules fn on shard dst at time at, keyed by the conduit's id
+// and the caller's per-conduit seq. It must be called from the source
+// shard (during its round, or before the group runs), and at must
+// respect the declared src→dst lookahead — violating it means the
+// receiver may already have advanced past at, so it panics loudly rather
+// than corrupt timestamp order.
+func (c *Conduit) Send(dst int, at Time, seq uint64, fn func()) {
+	g := c.g
+	src := g.shards[c.src]
+	la := g.la[c.src][dst]
+	if la < 0 {
+		panic(fmt.Sprintf("sim: conduit %d send %d->%d with no declared lookahead", c.id, c.src, dst))
+	}
+	if at < src.eng.Now()+la {
+		panic(fmt.Sprintf("sim: conduit %d send %d->%d at %v violates lookahead %v (src clock %v)",
+			c.id, c.src, dst, at, la, src.eng.Now()))
+	}
+	src.out = append(src.out, shardMsg{at: at, conduit: c.id, dst: int32(dst), seq: seq, fn: fn})
+}
+
+// RunFor advances every shard by d.
+func (g *ShardGroup) RunFor(d Time) { g.Run(g.now + d) }
+
+// Run advances every shard to exactly until. On return every engine's
+// clock is until, every emitted message has been injected into its
+// destination engine (ones due later than until are simply future
+// events), and the per-shard event histories are those of the same
+// workload on a single engine.
+func (g *ShardGroup) Run(until Time) {
+	if until < g.now {
+		panic("sim: shard group run target before group clock")
+	}
+	if len(g.shards) == 1 {
+		// Single shard: a conduit cannot target its own shard (Send demands
+		// a lookahead, SetLookahead refuses self-channels), so this is
+		// exactly a legacy engine run.
+		s := g.shards[0]
+		s.eng.RunUntil(until)
+		s.clock = until
+		g.now = until
+		return
+	}
+	workers := g.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(g.shards) {
+		workers = len(g.shards)
+	}
+
+	var (
+		workCh chan *shard
+		wg     sync.WaitGroup
+		stop   chan struct{}
+	)
+	if workers > 1 {
+		workCh = make(chan *shard, len(g.shards))
+		stop = make(chan struct{})
+		defer close(stop)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for {
+					select {
+					case s := <-workCh:
+						s.eng.RunUntil(s.grant)
+						wg.Done()
+					case <-stop:
+						return
+					}
+				}
+			}()
+		}
+	}
+
+	for {
+		// Phase 0 (coordinator): flush outboxes. Every message emitted in
+		// the previous round (or during assembly, on the first iteration)
+		// becomes an arrival-band event on its destination engine. The grant
+		// rule makes this sound: a message emitted by src during round r is
+		// timestamped past src's round-(r-1) clock plus the channel
+		// lookahead, which bounds every other shard's round-r grant — so the
+		// destination's clock is still strictly below the timestamp here.
+		for _, s := range g.shards {
+			for _, m := range s.out {
+				g.shards[m.dst].eng.AtArrival(m.at, m.conduit, m.seq, "", m.fn)
+			}
+			g.messages += int64(len(s.out))
+			s.out = s.out[:0]
+		}
+
+		// Grants from the clocks committed at the previous barrier.
+		active := 0
+		var only *shard
+		for _, s := range g.shards {
+			grant := until
+			for j := range g.shards {
+				la := g.la[j][s.id]
+				if la < 0 {
+					continue
+				}
+				if h := g.shards[j].clock + la; h < grant {
+					grant = h
+				}
+			}
+			s.grant = grant
+			if s.clock < s.grant {
+				active++
+				only = s
+			}
+		}
+		if active == 0 {
+			break
+		}
+		g.rounds++
+
+		// Phase A: run every active shard to its grant.
+		if workers > 1 && active > 1 {
+			wg.Add(active)
+			for _, s := range g.shards {
+				if s.clock < s.grant {
+					workCh <- s
+				}
+			}
+			wg.Wait()
+		} else if active == 1 {
+			only.eng.RunUntil(only.grant)
+		} else {
+			for _, s := range g.shards {
+				if s.clock < s.grant {
+					s.eng.RunUntil(s.grant)
+				}
+			}
+		}
+
+		// Phase B (coordinator): commit clocks. Outboxes filled this round
+		// are flushed at the top of the next iteration, so the set of
+		// injected messages stays a pure function of the round number.
+		for _, s := range g.shards {
+			if s.grant > s.clock {
+				s.clock = s.grant
+			}
+		}
+	}
+	g.now = until
+}

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -102,6 +103,13 @@ func (h *Histogram) FracAbove(x float64) float64 {
 		return 0
 	}
 	idx := int(x/h.width) + 1
+	if x < 0 {
+		// Negative x truncates toward zero: x = -5, width 1 gives
+		// idx = -4 (a panic below), and -0.25 gives idx = 1 (silently
+		// skipping bucket 0). Every bucket is entirely above a negative
+		// threshold, so start at 0.
+		idx = 0
+	}
 	var above int64 = h.overflow
 	for i := idx; i < len(h.buckets); i++ {
 		above += h.buckets[i]
@@ -173,9 +181,20 @@ func NewWindowedMedians(window float64) *WindowedMedians {
 
 // Add records value v observed at time t. Time must not decrease.
 func (w *WindowedMedians) Add(t, v float64) {
-	for t >= w.start+w.window {
+	if t >= w.start+w.window {
+		// Close the open window, then jump straight to the window
+		// containing t: the windows skipped over an idle gap are empty by
+		// definition (flush skips empty windows), so stepping through them
+		// one at a time would cost O(gap/window) for nothing.
 		w.flush()
-		w.start += w.window
+		w.start += w.window * math.Floor((t-w.start)/w.window)
+		// Guard float rounding at the jump target's edges.
+		for t >= w.start+w.window {
+			w.start += w.window
+		}
+		for t < w.start {
+			w.start -= w.window
+		}
 	}
 	w.current = append(w.current, v)
 }

@@ -199,3 +199,52 @@ func TestWindowedMediansDoubleFlush(t *testing.T) {
 		t.Fatalf("Medians = %v, want [42]", w.Medians)
 	}
 }
+
+// Regression: FracAbove on a negative threshold used to index
+// h.buckets[int(x/width)+1] with a negative index and panic (x = -5,
+// width = 1 gave idx = -4). A negative threshold is below everything the
+// histogram can hold, so the answer is exactly 1.
+func TestHistogramFracAboveNegative(t *testing.T) {
+	h := NewHistogram(1, 8)
+	h.Add(0.5)
+	h.Add(3)
+	h.Add(100) // overflow bucket
+	if got := h.FracAbove(-5); got != 1 {
+		t.Fatalf("FracAbove(-5) = %v, want 1", got)
+	}
+	if got := h.FracAbove(-0.25); got != 1 {
+		t.Fatalf("FracAbove(-0.25) = %v, want 1", got)
+	}
+	// Sanity: non-negative thresholds unchanged by the clamp.
+	if got := h.FracAbove(0); got != 2.0/3 {
+		t.Fatalf("FracAbove(0) = %v, want 2/3", got)
+	}
+}
+
+// Regression: a long idle gap (or a first observation at large t) used to
+// advance the window start one window per iteration — O(gap/window). The
+// arithmetic jump must give the same medians and window starts, fast.
+func TestWindowedMediansLongGapJumpsArithmetically(t *testing.T) {
+	w := NewWindowedMedians(1)
+	w.Add(0.5, 2)
+	// Pre-fix this looped ~1e15 times; post-fix it is O(1). The deadline
+	// on `go test` makes a regression fail by timeout.
+	const far = 1e15
+	w.Add(far+0.25, 7)
+	w.Flush()
+	if len(w.Medians) != 2 {
+		t.Fatalf("got %d medians, want 2: %v", len(w.Medians), w.Medians)
+	}
+	if w.Medians[0] != 2 || w.Starts[0] != 0 {
+		t.Fatalf("first window = (%v @ %v), want (2 @ 0)", w.Medians[0], w.Starts[0])
+	}
+	if w.Medians[1] != 7 || w.Starts[1] != far {
+		t.Fatalf("gap window = (%v @ %v), want (7 @ %v)", w.Medians[1], w.Starts[1], float64(far))
+	}
+	// The jump must land on the window containing t, never past it.
+	w.Add(far+0.5, 9)
+	w.Flush()
+	if len(w.Medians) != 3 || w.Medians[2] != 9 {
+		t.Fatalf("post-jump window broken: medians %v starts %v", w.Medians, w.Starts)
+	}
+}

@@ -40,10 +40,20 @@ type SwitchSpec struct {
 // wiring them together. Assembly order is part of the determinism
 // contract — the same Spec and seed always build the same event order.
 type Spec struct {
-	// Seed seeds the shared engine and every per-host fault plan.
+	// Seed seeds the shared engine (or every shard's engine) and every
+	// per-host fault plan.
 	Seed     uint64
 	Hosts    []HostSpec
 	Switches []SwitchSpec
+
+	// Shards, when >= 1, runs the topology on a conservative-sync shard
+	// group of that many engines instead of one shared engine (clamped to
+	// the host count; 0 keeps the legacy single-engine path). Merged
+	// telemetry and traces are identical at any shard count.
+	Shards int
+	// Assign, when set with Shards, maps host index (declaration order)
+	// and name to a shard id; nil round-robins by index.
+	Assign func(i int, name string) int
 }
 
 // hashName folds a host name into a 64-bit salt (FNV-1a), so per-host
@@ -62,7 +72,18 @@ func hashName(name string) uint64 {
 // then each switch joins its members in listed order. Unknown member
 // names panic — they are assembly bugs, not runtime conditions.
 func Build(spec Spec) *Topology {
-	t := New(sim.NewEngine(spec.Seed))
+	var t *Topology
+	if spec.Shards >= 1 {
+		n := spec.Shards
+		if len(spec.Hosts) > 0 && n > len(spec.Hosts) {
+			n = len(spec.Hosts)
+		}
+		t = NewSharded(sim.NewShardGroup(n, spec.Seed), spec.Seed)
+		t.Assign = spec.Assign
+	} else {
+		t = New(sim.NewEngine(spec.Seed))
+		t.SetSeed(spec.Seed)
+	}
 	for _, hs := range spec.Hosts {
 		cfg := host.Config{
 			Name:     hs.Name,

@@ -5,6 +5,7 @@ import (
 
 	"softtimers/internal/metrics"
 	"softtimers/internal/netstack"
+	"softtimers/internal/sim"
 )
 
 // Switch forwards packets by destination address: a LAN switch whose ports
@@ -16,19 +17,54 @@ import (
 // A packet whose destination has no forwarding entry (including the zero
 // Addr of unaddressed packets) is dropped and counted as a miss; silent
 // blackholing would make topology bugs look like congestion.
+//
+// Under sharded execution the forwarding table is read-only at run time
+// and the counters split into per-shard slots (each shard's deliveries
+// touch only its own slot, so concurrent rounds never contend); a packet
+// whose destination lives on another shard never reaches Deliver — the
+// sending link's courier ships it at transmit time and the forward
+// executes on the destination shard at arrival time, exactly when the
+// legacy path would have counted it.
 type Switch struct {
 	Name string
 
-	table map[netstack.Addr]netstack.Endpoint
+	table   map[netstack.Addr]netstack.Endpoint
+	shardOf map[netstack.Addr]int // populated only in sharded topologies
 
-	// Forwarded and Misses count switched and address-miss packets.
-	Forwarded int64
-	Misses    int64
+	// fwd and miss count switched and address-miss packets, one slot per
+	// shard (single-engine topologies use slot 0).
+	fwd  []int64
+	miss []int64
+
+	// members records each joined host's shard and down-link propagation
+	// delay, the inputs to the group's lookahead matrix.
+	members []switchMember
+}
+
+type switchMember struct {
+	shard int
+	delay sim.Time // the member's host→switch propagation delay
 }
 
 // NewSwitch creates an empty switch.
 func NewSwitch(name string) *Switch {
-	return &Switch{Name: name, table: make(map[netstack.Addr]netstack.Endpoint)}
+	return &Switch{
+		Name:  name,
+		table: make(map[netstack.Addr]netstack.Endpoint),
+		fwd:   make([]int64, 1),
+		miss:  make([]int64, 1),
+	}
+}
+
+// setShards sizes the per-shard counter slots; called by sharded
+// topologies at switch creation.
+func (s *Switch) setShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.fwd = make([]int64, n)
+	s.miss = make([]int64, n)
+	s.shardOf = make(map[netstack.Addr]int)
 }
 
 // Connect installs a forwarding entry: packets for addr go to port (the
@@ -44,21 +80,66 @@ func (s *Switch) Connect(addr netstack.Addr, port netstack.Endpoint) {
 	s.table[addr] = port
 }
 
+// bind records addr's shard (sharded topologies only).
+func (s *Switch) bind(addr netstack.Addr, shard int) {
+	s.shardOf[addr] = shard
+}
+
+// Forwarded returns the number of switched packets (all shards).
+func (s *Switch) Forwarded() int64 {
+	var n int64
+	for _, v := range s.fwd {
+		n += v
+	}
+	return n
+}
+
+// Misses returns the number of address-miss drops (all shards).
+func (s *Switch) Misses() int64 {
+	var n int64
+	for _, v := range s.miss {
+		n += v
+	}
+	return n
+}
+
 // Deliver implements netstack.Endpoint: forward by destination address.
-func (s *Switch) Deliver(p *netstack.Packet) {
+// Single-engine topologies deliver here directly; sharded ones go through
+// deliverOn with the delivering shard.
+func (s *Switch) Deliver(p *netstack.Packet) { s.deliverOn(0, p) }
+
+func (s *Switch) deliverOn(shard int, p *netstack.Packet) {
 	port, ok := s.table[p.Dst]
 	if !ok {
-		s.Misses++
+		s.miss[shard]++
 		return
 	}
-	s.Forwarded++
+	if s.shardOf != nil {
+		if d := s.shardOf[p.Dst]; d != shard {
+			// Cross-shard packets must arrive via the courier; reaching the
+			// local path means a link was wired without one.
+			panic(fmt.Sprintf("topology: switch %q: packet for address %d (shard %d) on shard %d's local path",
+				s.Name, p.Dst, d, shard))
+		}
+	}
+	s.fwd[shard]++
 	port.Deliver(p)
 }
+
+// shardView adapts the switch to one shard's local delivery path, so
+// same-shard forwards count against that shard's slot.
+type shardView struct {
+	sw    *Switch
+	shard int
+}
+
+// Deliver implements netstack.Endpoint.
+func (v shardView) Deliver(p *netstack.Packet) { v.sw.deliverOn(v.shard, p) }
 
 // RegisterMetrics exposes the switch's counters on a registry under
 // switch.<name>.
 func (s *Switch) RegisterMetrics(r *metrics.Registry) {
 	prefix := "switch." + s.Name + "."
-	r.CounterFunc(prefix+"forwarded", func() int64 { return s.Forwarded })
-	r.CounterFunc(prefix+"misses", func() int64 { return s.Misses })
+	r.CounterFunc(prefix+"forwarded", func() int64 { return s.Forwarded() })
+	r.CounterFunc(prefix+"misses", func() int64 { return s.Misses() })
 }

@@ -19,6 +19,7 @@ package topology
 
 import (
 	"fmt"
+	"io"
 
 	"softtimers/internal/faults"
 	"softtimers/internal/host"
@@ -26,12 +27,29 @@ import (
 	"softtimers/internal/netstack"
 	"softtimers/internal/nic"
 	"softtimers/internal/sim"
+	"softtimers/internal/trace"
 )
 
-// Topology is one multi-node network on a shared engine.
+// Topology is one multi-node network on a shared engine, or — under
+// sharded execution — on a sim.ShardGroup with one engine per shard and
+// hosts distributed across them.
 type Topology struct {
-	// Eng is the shared event engine all hosts run on.
+	// Eng is the shared event engine all hosts run on. In a sharded
+	// topology it is shard 0's engine (seeded identically to the legacy
+	// shared engine, so shard-0 construction-time RNG draws replay).
 	Eng *sim.Engine
+
+	// Assign maps (host add-index, name) to a shard; consulted only in
+	// sharded topologies, before the first AddHost. Nil defaults to
+	// round-robin. The assignment is a performance knob, not a semantic
+	// one: results are identical for any placement.
+	Assign func(i int, name string) int
+
+	group     *sim.ShardGroup
+	seed      uint64
+	shardOf   []int // per host, in add (address) order
+	conduits  int32 // arrival-band conduit ids, allocated in join order
+	finalized bool
 
 	hosts    []*host.Host
 	byName   map[string]*host.Host
@@ -39,6 +57,7 @@ type Topology struct {
 	ports    map[string][]*Port
 	switches []*Switch
 	routers  []*Router
+	tracers  []*trace.Buffer // per host, when tracing is enabled
 }
 
 // New creates an empty topology on eng.
@@ -49,6 +68,38 @@ func New(eng *sim.Engine) *Topology {
 		addrs:  make(map[string]netstack.Addr),
 		ports:  make(map[string][]*Port),
 	}
+}
+
+// NewSharded creates an empty topology running on g's engines under
+// conservative time sync. seed must be the seed the equivalent legacy
+// topology would use — it derives per-host RNG streams, which is what
+// keeps sharded and single-engine runs byte-identical.
+func NewSharded(g *sim.ShardGroup, seed uint64) *Topology {
+	t := New(g.Engine(0))
+	t.group = g
+	t.seed = seed
+	return t
+}
+
+// SetSeed sets the seed per-host RNG streams derive from. Build and
+// NewSharded set it; imperative single-engine assemblies that need
+// sharded-run equivalence must set the same value on both variants.
+func (t *Topology) SetSeed(seed uint64) { t.seed = seed }
+
+// Group returns the shard group, or nil for single-engine topologies.
+func (t *Topology) Group() *sim.ShardGroup { return t.group }
+
+// HostShard returns the shard the named host runs on (0 in single-engine
+// topologies).
+func (t *Topology) HostShard(name string) int {
+	if t.group == nil {
+		return 0
+	}
+	a := t.addrs[name]
+	if a == 0 {
+		return 0
+	}
+	return t.shardOf[int(a)-1]
 }
 
 // AddHost builds a named host on the shared engine and assigns it the next
@@ -62,8 +113,28 @@ func (t *Topology) AddHost(cfg host.Config) *host.Host {
 	if _, dup := t.byName[cfg.Name]; dup {
 		panic(fmt.Sprintf("topology: duplicate host %q", cfg.Name))
 	}
-	h := host.New(t.Eng, cfg)
+	eng := t.Eng
+	shard := 0
+	if t.group != nil {
+		if t.Assign != nil {
+			shard = t.Assign(len(t.hosts), cfg.Name)
+		} else {
+			shard = len(t.hosts) % t.group.N()
+		}
+		if shard < 0 || shard >= t.group.N() {
+			panic(fmt.Sprintf("topology: host %q assigned to shard %d of %d", cfg.Name, shard, t.group.N()))
+		}
+		eng = t.group.Engine(shard)
+	}
+	if cfg.Seed == 0 {
+		// Per-host RNG streams derive from (topology seed, name) — never
+		// from an engine's stream — so they are identical whether the host
+		// shares one engine with the fleet or owns a shard.
+		cfg.Seed = t.seed
+	}
+	h := host.New(eng, cfg)
 	t.hosts = append(t.hosts, h)
+	t.shardOf = append(t.shardOf, shard)
 	t.byName[cfg.Name] = h
 	t.addrs[cfg.Name] = netstack.Addr(len(t.hosts))
 	return h
@@ -130,14 +201,17 @@ func (t *Topology) AttachNIC(h *host.Host, nicCfg nic.Config, peer netstack.Endp
 	if reg == nil {
 		reg = h.Metrics()
 	}
-	down := netstack.NewLink(t.Eng, w.DownName, w.Bps, w.Delay, peer)
+	// Links live on the owning host's engine: identical to t.Eng on a
+	// single-engine topology, the host's shard engine otherwise.
+	eng := h.Engine()
+	down := netstack.NewLink(eng, w.DownName, w.Bps, w.Delay, peer)
 	down.Faults = plan.Link("link." + w.DownName)
 	down.RegisterMetrics(reg)
 	if nicCfg.Faults == nil {
 		nicCfg.Faults = plan.Link("nic." + nicCfg.Name + ".rx")
 	}
 	n := h.AddNIC(nicCfg, down)
-	up := netstack.NewLink(t.Eng, w.UpName, w.Bps, w.Delay, n)
+	up := netstack.NewLink(eng, w.UpName, w.Bps, w.Delay, n)
 	up.Faults = plan.Link("link." + w.UpName)
 	up.RegisterMetrics(reg)
 	p := &Port{NIC: n, Down: down, Up: up}
@@ -148,6 +222,9 @@ func (t *Topology) AttachNIC(h *host.Host, nicCfg nic.Config, peer netstack.Endp
 // AddSwitch creates a named switch on the topology.
 func (t *Topology) AddSwitch(name string) *Switch {
 	sw := NewSwitch(name)
+	if t.group != nil {
+		sw.setShards(t.group.N())
+	}
 	t.switches = append(t.switches, sw)
 	return sw
 }
@@ -162,30 +239,180 @@ func (t *Topology) Join(sw *Switch, h *host.Host, nicCfg nic.Config, w WireSpec)
 	if w.UpName == "" {
 		w.UpName = sw.Name + "." + h.Name + ".down" // switch → host
 	}
-	p := t.AttachNIC(h, nicCfg, sw, w)
+	var peer netstack.Endpoint = sw
+	shard := t.HostShard(h.Name)
+	if t.group != nil {
+		// Same-shard forwards stay on the local path but must count in
+		// this shard's slot.
+		peer = shardView{sw: sw, shard: shard}
+	}
+	p := t.AttachNIC(h, nicCfg, peer, w)
 	sw.Connect(t.addrs[h.Name], p.Up)
+	// The switch hop rides the engine's arrival band: conduit ids are
+	// allocated here, in join order — an assembly-order invariant — so
+	// same-instant arrivals at a port sort the same way at any shard
+	// count, single-engine topologies included.
+	t.conduits++
+	p.Down.ArrivalConduit = t.conduits
+	if t.group != nil {
+		// Cross-shard arrivals leave through this courier, keeping the
+		// conduit key they would have carried locally.
+		sw.bind(t.addrs[h.Name], shard)
+		p.Down.Courier = &courier{
+			sw:  sw,
+			src: shard,
+			con: t.group.NewConduit(shard, t.conduits),
+		}
+		sw.members = append(sw.members, switchMember{shard: shard, delay: p.Down.Delay()})
+	}
 	return p
 }
 
+// courier ships a down link's cross-shard deliveries: route lookup at
+// transmit time, execution (count + forward onto the destination host's
+// receive link) on the destination shard at the arrival instant. The
+// link's propagation delay is the shipping lookahead.
+type courier struct {
+	sw  *Switch
+	src int
+	con *sim.Conduit
+}
+
+// Ship implements netstack.Courier.
+func (c *courier) Ship(p *netstack.Packet, at sim.Time, conduit int32, seq uint64) bool {
+	port, ok := c.sw.table[p.Dst]
+	if !ok {
+		return false // miss: counted on the local path, like legacy
+	}
+	dst := c.sw.shardOf[p.Dst]
+	if dst == c.src {
+		return false
+	}
+	sw := c.sw
+	c.con.Send(dst, at, seq, func() {
+		sw.fwd[dst]++
+		port.Deliver(p)
+	})
+	return true
+}
+
+// finalize derives the group's lookahead matrix from the assembled
+// wiring: for every switch, a member can reach any co-member on another
+// shard no earlier than its own down-link propagation delay past its
+// clock, so that delay bounds the channel. Called once from Start.
+func (t *Topology) finalize() {
+	if t.group == nil || t.finalized {
+		return
+	}
+	t.finalized = true
+	for _, sw := range t.switches {
+		for _, m := range sw.members {
+			for _, m2 := range sw.members {
+				if m.shard != m2.shard {
+					t.group.SetLookahead(m.shard, m2.shard, m.delay)
+				}
+			}
+		}
+	}
+}
+
 // Start spins up every host in add order. Call after assembly, before
-// running the engine.
+// running the engine. On a sharded topology it also freezes the wiring
+// into the group's lookahead matrix.
 func (t *Topology) Start() {
+	t.finalize()
 	for _, h := range t.hosts {
 		h.Start()
 	}
 }
 
+// RunFor advances the whole topology by d: the shard group under
+// conservative sync when sharded, the shared engine otherwise.
+func (t *Topology) RunFor(d sim.Time) {
+	if t.group != nil {
+		t.group.RunFor(d)
+		return
+	}
+	t.Eng.RunFor(d)
+}
+
+// Now returns the topology's clock.
+func (t *Topology) Now() sim.Time {
+	if t.group != nil {
+		return t.group.Now()
+	}
+	return t.Eng.Now()
+}
+
+// EnableTracing attaches an execution trace buffer of the given capacity
+// to every host, in add order. Call before Start.
+func (t *Topology) EnableTracing(capacity int) {
+	if t.tracers != nil {
+		return
+	}
+	for _, h := range t.hosts {
+		tb := trace.New(capacity)
+		tb.Enable(true)
+		h.K.SetTracer(tb)
+		t.tracers = append(t.tracers, tb)
+	}
+}
+
+// Tracer returns host i's trace buffer (nil unless EnableTracing ran).
+func (t *Topology) Tracer(i int) *trace.Buffer {
+	if t.tracers == nil {
+		return nil
+	}
+	return t.tracers[i]
+}
+
+// WriteChrome merges every host's trace into one Chrome trace-event file:
+// one process per host, pid = host address, in add order. Host-local
+// event order is identical under legacy and sharded execution, so the
+// merged trace is too.
+func (t *Topology) WriteChrome(w io.Writer) error {
+	if t.tracers == nil {
+		return fmt.Errorf("topology: tracing not enabled")
+	}
+	procs := make([]trace.Proc, len(t.hosts))
+	for i, h := range t.hosts {
+		procs[i] = trace.Proc{Name: "host." + h.Name, PID: i + 1, Buf: t.tracers[i]}
+	}
+	return trace.WriteChromeProcs(w, procs)
+}
+
 // Snapshot captures every host's telemetry under a host.<name>. prefix and
 // every switch's and router's counters, merged into one deterministic
 // snapshot — the per-host metrics namespace for multi-node experiments.
+//
+// Per-host sim.* instruments are dropped and replaced with topology-level
+// totals: the per-host versions read whichever engine the host runs on
+// (the whole fleet's on the legacy shared engine, one shard's otherwise),
+// so they describe the execution substrate, not the host. The totals are
+// mode-independent — every legacy engine event maps to exactly one shard
+// event (a cross-shard delivery is one arrival-band event on the
+// destination engine, as it would be on the single engine), so summed
+// fired/pending counts match byte-for-byte. The heap depth high-water
+// mark has no mode-independent meaning and is omitted.
 func (t *Topology) Snapshot() *metrics.Snapshot {
 	out := metrics.NewSnapshot()
 	for _, h := range t.hosts {
-		out.Merge(h.Snapshot().Prefixed("host." + h.Name + "."))
+		hs := h.Snapshot()
+		hs.DropPrefix("sim.")
+		out.Merge(hs.Prefixed("host." + h.Name + "."))
+	}
+	if t.group != nil {
+		out.Counters["sim.events_fired"] = int64(t.group.TotalFired())
+		p := int64(t.group.TotalPending())
+		out.Gauges["sim.events_pending"] = metrics.GaugeSnapshot{Value: p, Max: p}
+	} else {
+		out.Counters["sim.events_fired"] = int64(t.Eng.Fired)
+		p := int64(t.Eng.Pending())
+		out.Gauges["sim.events_pending"] = metrics.GaugeSnapshot{Value: p, Max: p}
 	}
 	for _, sw := range t.switches {
-		out.Counters["switch."+sw.Name+".forwarded"] = sw.Forwarded
-		out.Counters["switch."+sw.Name+".misses"] = sw.Misses
+		out.Counters["switch."+sw.Name+".forwarded"] = sw.Forwarded()
+		out.Counters["switch."+sw.Name+".misses"] = sw.Misses()
 	}
 	for _, r := range t.routers {
 		out.Counters["router."+r.H.Name+".forwarded"] = r.Forwarded

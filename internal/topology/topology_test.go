@@ -58,11 +58,11 @@ func TestSwitchForwardsByAddress(t *testing.T) {
 	)
 	top.Eng.RunFor(5 * sim.Millisecond)
 	sw := top.switches[0]
-	if sw.Misses != 2 {
-		t.Fatalf("switch misses = %d, want 2", sw.Misses)
+	if sw.Misses() != 2 {
+		t.Fatalf("switch misses = %d, want 2", sw.Misses())
 	}
-	if sw.Forwarded != 1 {
-		t.Fatalf("switch forwarded = %d, want 1", sw.Forwarded)
+	if sw.Forwarded() != 1 {
+		t.Fatalf("switch forwarded = %d, want 1", sw.Forwarded())
 	}
 	if len(*got["a"])+len(*got["b"]) != 1 {
 		t.Fatalf("missed packets were delivered somewhere: a=%v b=%v", *got["a"], *got["b"])

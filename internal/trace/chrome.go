@@ -45,19 +45,49 @@ func instantTID(k Kind) int { return 1 + int(k) }
 // per-kind tracks, carrying the event's Arg. Timestamps are microseconds,
 // per the format.
 func (b *Buffer) WriteChrome(w io.Writer) error {
-	evs := b.Events()
+	return WriteChromeProcs(w, []Proc{{Name: "softtimers", PID: 1, Buf: b}})
+}
+
+// Proc names one buffer's track group in a multi-process Chrome trace:
+// each buffer becomes its own process row (a host in a topology trace),
+// with the usual cpu/instant-track layout inside it.
+type Proc struct {
+	Name string
+	PID  int
+	Buf  *Buffer
+}
+
+// WriteChromeProcs writes several buffers into one Chrome trace, one
+// process row per Proc, in slice order. A single Proc named "softtimers"
+// with PID 1 produces byte-identical output to Buffer.WriteChrome.
+func WriteChromeProcs(w io.Writer, procs []Proc) error {
+	var out []chromeEvent
+	for _, p := range procs {
+		out = append(out, chromeProcEvents(p)...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+// chromeProcEvents renders one buffer as a metadata block (process name,
+// thread names in tid order, so viewers label tracks before any event
+// references them) followed by its events.
+func chromeProcEvents(p Proc) []chromeEvent {
+	evs := p.Buf.Events()
+	pid := p.PID
 
 	var body []chromeEvent
 	threadNames := map[int]string{cpuTID: "cpu"}
 	sliceOpen := false
 	endSlice := func(ts float64) {
 		if sliceOpen {
-			body = append(body, chromeEvent{Name: "", Phase: "E", TS: ts, PID: 1, TID: cpuTID})
+			body = append(body, chromeEvent{Name: "", Phase: "E", TS: ts, PID: pid, TID: cpuTID})
 			sliceOpen = false
 		}
 	}
 	beginSlice := func(name string, ts float64) {
-		body = append(body, chromeEvent{Name: name, Phase: "B", TS: ts, PID: 1, TID: cpuTID})
+		body = append(body, chromeEvent{Name: name, Phase: "B", TS: ts, PID: pid, TID: cpuTID})
 		sliceOpen = true
 	}
 
@@ -86,18 +116,16 @@ func (b *Buffer) WriteChrome(w io.Writer) error {
 				name = e.Kind.String()
 			}
 			body = append(body, chromeEvent{
-				Name: name, Phase: "i", TS: ts, PID: 1, TID: tid,
+				Name: name, Phase: "i", TS: ts, PID: pid, TID: tid,
 				Scope: "t", Args: map[string]any{"arg": e.Arg},
 			})
 		}
 	}
 	endSlice(lastTS)
 
-	// Metadata first: process name, then thread names in tid order, so
-	// viewers label tracks before any event references them.
 	out := []chromeEvent{{
-		Name: "process_name", Phase: "M", PID: 1, TID: cpuTID,
-		Args: map[string]any{"name": "softtimers"},
+		Name: "process_name", Phase: "M", PID: pid, TID: cpuTID,
+		Args: map[string]any{"name": p.Name},
 	}}
 	tids := make([]int, 0, len(threadNames))
 	for tid := range threadNames {
@@ -106,13 +134,9 @@ func (b *Buffer) WriteChrome(w io.Writer) error {
 	sort.Ints(tids)
 	for _, tid := range tids {
 		out = append(out, chromeEvent{
-			Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+			Name: "thread_name", Phase: "M", PID: pid, TID: tid,
 			Args: map[string]any{"name": threadNames[tid]},
 		})
 	}
-	out = append(out, body...)
-
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+	return append(out, body...)
 }
