@@ -23,13 +23,18 @@ test: metrics-smoke trace-smoke
 # executor (plus the topology/httpserv rigs that run on it) are the
 # concurrency-sensitive packages; run them under the race detector.
 race:
-	$(GO) test -race ./internal/sim ./internal/experiments ./internal/topology ./internal/httpserv
+	$(GO) test -race ./internal/sim ./internal/experiments ./internal/topology ./internal/httpserv ./internal/netstack ./internal/timerwheel
 
-# Engine and metrics hot-path microbenchmarks (allocation counts included).
+# Engine, metrics and packet hot-path microbenchmarks (allocation counts
+# included). The zero-alloc guard runs first: the two-host packet path must
+# stay at 0 allocs/op, so a pooling regression fails the target before any
+# numbers are printed.
 bench:
+	$(GO) test -run 'TestTestbedPacketZeroAlloc' -count=1 ./internal/topology
 	$(GO) test -bench 'BenchmarkEngine' -benchmem -run '^$$' ./internal/sim
 	$(GO) test -bench 'BenchmarkMetrics' -benchmem -run '^$$' ./internal/metrics
-	$(GO) test -bench 'BenchmarkTestbedPacket' -benchmem -run '^$$' ./internal/topology
+	$(GO) test -bench 'BenchmarkTestbedPacket|BenchmarkSwitchForward' -benchmem -run '^$$' ./internal/topology
+	$(GO) test -bench 'BenchmarkTCPSegment|BenchmarkTCPAck' -benchmem -run '^$$' ./internal/tcp
 	$(GO) test -bench 'BenchmarkFleetSharded' -benchmem -run '^$$' ./internal/experiments
 
 # Statement coverage across all packages, with a per-function summary.
@@ -61,13 +66,16 @@ fuzz-smoke:
 scenario-smoke:
 	$(GO) run ./cmd/stbench -scenario hostile >/dev/null
 
-# Sharded-execution smoke: the fleet-scale sweep on 1 vs 4
-# conservative-sync engines must dump byte-identical telemetry (the
-# sharding determinism contract, end to end through stbench).
+# Sharded-execution smoke: the fleet-scale and hierarchical (leaf-spine)
+# fleet sweeps on 1 vs 4 conservative-sync engines must dump byte-identical
+# telemetry (the sharding determinism contract, end to end through stbench).
 shard-smoke:
 	$(GO) run ./cmd/stbench -exp fleet-scale -scale smoke -shards 1 -metrics /tmp/stbench-shard1.json >/dev/null
 	$(GO) run ./cmd/stbench -exp fleet-scale -scale smoke -shards 4 -metrics /tmp/stbench-shard4.json >/dev/null
 	diff /tmp/stbench-shard1.json /tmp/stbench-shard4.json
+	$(GO) run ./cmd/stbench -exp fleet-hier -scale smoke -shards 1 -metrics /tmp/stbench-hier1.json >/dev/null
+	$(GO) run ./cmd/stbench -exp fleet-hier -scale smoke -shards 4 -metrics /tmp/stbench-hier4.json >/dev/null
+	diff /tmp/stbench-hier1.json /tmp/stbench-hier4.json
 
 stbench:
 	$(GO) build -o stbench ./cmd/stbench

@@ -86,6 +86,9 @@ type Facility struct {
 	firing      bool
 	currentSrc  kernel.Source
 	pendingCost sim.Time
+
+	// freeEv heads the pooled-event free list (ScheduleSoftEventFree).
+	freeEv *Event
 }
 
 // New installs a soft-timer facility on k and registers it as the kernel's
@@ -158,6 +161,13 @@ type Event struct {
 	t     *timerwheel.Timer
 	sched uint64 // MeasureTime at scheduling
 	T     uint64 // requested latency in ticks
+
+	// Pooled events (ScheduleSoftEventFree) carry their handler and a
+	// wheel callback bound once at pool entry, and recycle through next.
+	h      Handler
+	fireFn timerwheel.Handler
+	pooled bool
+	next   *Event
 }
 
 // Cancel removes the event if still pending; reports whether it was.
@@ -187,16 +197,54 @@ func (f *Facility) ScheduleSoftEvent(T uint64, h Handler) *Event {
 	// scheduled may not exactly coincide with a clock tick" (Section 3).
 	deadline := now + T + 1
 	defer f.k.NudgeIdle() // a halted idle CPU may now have a reason to poll
-	ev.t = f.wheel.Schedule(deadline, func(fireTick timerwheel.Tick) {
-		f.fired.Inc()
-		f.FiresBySource[f.currentSrc]++
-		// d = actual latency minus T, in ticks; convert to µs.
-		d := float64(fireTick-ev.sched-ev.T) * float64(f.tickDur) / float64(sim.Microsecond)
-		f.DelayHist.Add(d)
-		f.overshoot.SetMax(int64(d)) // worst-case delay, µs (truncated)
-		f.pendingCost += f.k.Profile().SoftCall + h(f.k.Now())
-	})
+	ev.h = h
+	ev.t = f.wheel.Schedule(deadline, ev.fire)
 	return ev
+}
+
+// fire is the wheel callback shared by both scheduling paths: account the
+// firing, record its delay, and run the handler. Pooled events recycle
+// before the handler runs, so a handler that immediately reschedules
+// reuses its own record.
+func (ev *Event) fire(fireTick timerwheel.Tick) {
+	f := ev.f
+	f.fired.Inc()
+	f.FiresBySource[f.currentSrc]++
+	// d = actual latency minus T, in ticks; convert to µs.
+	d := float64(fireTick-ev.sched-ev.T) * float64(f.tickDur) / float64(sim.Microsecond)
+	f.DelayHist.Add(d)
+	f.overshoot.SetMax(int64(d)) // worst-case delay, µs (truncated)
+	h := ev.h
+	if ev.pooled {
+		ev.h, ev.t = nil, nil
+		ev.next = f.freeEv
+		f.freeEv = ev
+	}
+	f.pendingCost += f.k.Profile().SoftCall + h(f.k.Now())
+}
+
+// ScheduleSoftEventFree schedules h exactly like ScheduleSoftEvent but
+// returns no handle: the event record comes from a per-facility pool and
+// is recycled the moment it fires, so steady-state rearm loops (probes,
+// polls) schedule without allocating. Use it whenever the caller would
+// discard the *Event — there is nothing to Cancel.
+func (f *Facility) ScheduleSoftEventFree(T uint64, h Handler) {
+	if h == nil {
+		panic("core: ScheduleSoftEvent with nil handler")
+	}
+	f.scheduled.Inc()
+	now := f.MeasureTime()
+	ev := f.freeEv
+	if ev == nil {
+		ev = &Event{f: f, pooled: true}
+		ev.fireFn = ev.fire // bound once; reused across recycles
+	} else {
+		f.freeEv = ev.next
+		ev.next = nil
+	}
+	ev.sched, ev.T, ev.h = now, T, h
+	defer f.k.NudgeIdle()
+	f.wheel.ScheduleFree(now+T+1, ev.fireFn)
 }
 
 // ScheduleAfter is a convenience wrapper scheduling h at least d of

@@ -59,18 +59,19 @@ type FleetResult struct {
 // re-armed at random exponential gaps, exactly like the degradation probe
 // rig — so DelayHist and the overshoot gauge are populated on hosts whose
 // workload alone would schedule no soft timers.
+// All three closures are created once per host: the steady-state cycle —
+// engine timer fires, pooled soft event scheduled, handler re-arms —
+// allocates nothing, which is what keeps large fleets' allocation volume
+// flat (the fleet rows are the allocs/op regression guard's subject).
 func fleetProbe(h *host.Host, rng *sim.RNG) {
 	eng := h.Engine()
-	var arm func()
-	arm = func() {
-		eng.After(rng.ExpTime(300*sim.Microsecond), func() {
-			h.F.ScheduleSoftEvent(probeT, func(now sim.Time) sim.Time {
-				arm()
-				return 0
-			})
-		})
+	var fire func()
+	handler := func(now sim.Time) sim.Time {
+		eng.After(rng.ExpTime(300*sim.Microsecond), fire)
+		return 0
 	}
-	arm()
+	fire = func() { h.F.ScheduleSoftEventFree(probeT, handler) }
+	eng.After(rng.ExpTime(300*sim.Microsecond), fire)
 }
 
 // runFleet builds and measures one fleet size: a server host and n client

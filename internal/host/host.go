@@ -64,6 +64,7 @@ type Host struct {
 
 	plan    *faults.Plan
 	rng     *sim.RNG
+	arena   *netstack.Arena
 	started bool
 }
 
@@ -102,6 +103,21 @@ func New(eng *sim.Engine, cfg Config) *Host {
 // topology runs on one engine or sharded across several.
 func (h *Host) Rand() *sim.RNG { return h.rng }
 
+// Arena returns the host's packet arena, creating a private one lazily.
+// Topologies install a shared engine-local (per-shard) arena with SetArena
+// before any NIC attaches, so co-resident hosts recycle one pool.
+func (h *Host) Arena() *netstack.Arena {
+	if h.arena == nil {
+		h.arena = netstack.NewArena()
+	}
+	return h.arena
+}
+
+// SetArena installs the packet arena the host's NICs release into. Must be
+// called before AddNIC; arenas are single-goroutine, so the arena must
+// belong to the engine the host runs on.
+func (h *Host) SetArena(a *netstack.Arena) { h.arena = a }
+
 // AddNIC creates an interface on the host transmitting into out (the wire
 // toward the peer). Zero Costs default; the receive ring's fault channel
 // comes from the host plan under nic.<name>.rx unless cfg.Faults is set.
@@ -113,6 +129,7 @@ func (h *Host) AddNIC(cfg nic.Config, out netstack.Endpoint) *nic.NIC {
 		cfg.Faults = h.plan.Link("nic." + cfg.Name + ".rx")
 	}
 	n := nic.New(h.K, h.F, cfg, out)
+	n.SetArena(h.Arena())
 	h.NICs = append(h.NICs, n)
 	return n
 }

@@ -27,6 +27,11 @@ type ClientGen struct {
 	// HeaderBytes sizes control packets.
 	HeaderBytes int
 
+	// Arena, when set, is the packet pool requests are acquired from and
+	// delivered responses are released into (the testbed wires the
+	// topology's pool; nil keeps heap-literal packets).
+	Arena *netstack.Arena
+
 	// Responses counts completed responses (client view); ResponseTimes
 	// records their latencies in milliseconds.
 	Responses     int64
@@ -94,34 +99,34 @@ func (s *clientSlot) open() {
 		s.request()
 		return
 	}
-	s.g.toServer.Deliver(&netstack.Packet{
-		Flow: s.flow, Kind: netstack.Syn, Size: s.g.HeaderBytes,
-	})
+	s.g.send(s.flow, netstack.Syn, s.g.HeaderBytes)
+}
+
+// send acquires and transmits one control packet toward the server.
+func (g *ClientGen) send(flow int, kind netstack.Kind, size int) {
+	p := g.Arena.Get()
+	p.Flow, p.Kind, p.Size = flow, kind, size
+	g.toServer.Deliver(p)
 }
 
 func (s *clientSlot) request() {
 	s.reqStart = s.g.eng.Now()
 	s.got = 0
 	s.unacked = 0
-	s.g.toServer.Deliver(&netstack.Packet{
-		Flow: s.flow, Kind: netstack.Request, Size: s.g.HeaderBytes + 250, // ~250B GET
-	})
+	s.g.send(s.flow, netstack.Request, s.g.HeaderBytes+250) // ~250B GET
 }
 
 // Deliver implements netstack.Endpoint: packets from the server arrive
-// here; flows are demultiplexed to slots.
+// here; flows are demultiplexed to slots. The generator is each packet's
+// final destination, so it releases the packet after handling it.
 func (g *ClientGen) Deliver(p *netstack.Packet) {
-	var slot *clientSlot
 	for _, s := range g.slots {
 		if s.flow == p.Flow {
-			slot = s
+			s.handle(p)
 			break
 		}
 	}
-	if slot == nil {
-		return // packet for a closed connection (e.g. final ACKs)
-	}
-	slot.handle(p)
+	g.Arena.Release(p) // a miss is a packet for a closed connection (e.g. final ACKs)
 }
 
 func (s *clientSlot) handle(p *netstack.Packet) {
@@ -135,9 +140,9 @@ func (s *clientSlot) handle(p *netstack.Packet) {
 		ackNow := s.unacked >= 2 || s.got >= g.ExpectedSegments // last segment acks promptly
 		if ackNow {
 			s.unacked = 0
-			g.toServer.Deliver(&netstack.Packet{
-				Flow: s.flow, Kind: netstack.Ack, AckSeq: int64(s.got), Size: g.HeaderBytes,
-			})
+			ack := g.Arena.Get()
+			ack.Flow, ack.Kind, ack.AckSeq, ack.Size = s.flow, netstack.Ack, int64(s.got), g.HeaderBytes
+			g.toServer.Deliver(ack)
 		}
 		if s.got >= g.ExpectedSegments {
 			s.responseDone()
@@ -145,12 +150,8 @@ func (s *clientSlot) handle(p *netstack.Packet) {
 	case netstack.Fin:
 		// Server closed after the data: ACK the FIN, then close our side
 		// with our own FIN (the normal four-way teardown).
-		g.toServer.Deliver(&netstack.Packet{
-			Flow: s.flow, Kind: netstack.Ack, Size: g.HeaderBytes,
-		})
-		g.toServer.Deliver(&netstack.Packet{
-			Flow: s.flow, Kind: netstack.Fin, Size: g.HeaderBytes,
-		})
+		g.send(s.flow, netstack.Ack, g.HeaderBytes)
+		g.send(s.flow, netstack.Fin, g.HeaderBytes)
 	}
 }
 

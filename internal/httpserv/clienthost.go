@@ -34,7 +34,11 @@ type ClientHost struct {
 	// latencies in milliseconds (client view, syscall to last segment).
 	Responses     int64
 	ResponseTimes *stats.Online
+	// Churns counts slot dormancy periods taken (connection churn).
+	Churns int64
 
+	arena    *netstack.Arena
+	rng      *sim.RNG
 	slots    []*chSlot
 	nextFlow int
 }
@@ -64,6 +68,15 @@ type ClientHostConfig struct {
 	// ConnectWork, SendWork and RecvWork are the syscall service times of
 	// the client's socket calls (defaults 15/10/10 µs).
 	ConnectWork, SendWork, RecvWork sim.Time
+	// ChurnEvery, when > 0, makes each slot go dormant after every N
+	// completed responses — connection churn: clients leave the fleet and
+	// rejoin later, so the server's connection table turns over instead of
+	// serving a fixed population. 0 disables churn.
+	ChurnEvery int
+	// ChurnOff is the dormancy base period (default 1 ms); the actual gap
+	// adds an exponential draw from the host's private RNG stream, which
+	// depends only on (seed, host name) — shard-count invariant.
+	ChurnOff sim.Time
 }
 
 // chSlot is one request process's connection state.
@@ -71,6 +84,7 @@ type chSlot struct {
 	c         *ClientHost
 	flow      int
 	got       int // data segments received this response
+	resp      int // responses completed since the last churn
 	unacked   int
 	started   bool // StartDelay consumed
 	connected bool // SYNACK arrived
@@ -103,7 +117,13 @@ func NewClientHost(h *host.Host, n *nic.NIC, cfg ClientHostConfig) *ClientHost {
 	if cfg.RecvWork == 0 {
 		cfg.RecvWork = 10 * sim.Microsecond
 	}
-	c := &ClientHost{H: h, N: n, cfg: cfg, ResponseTimes: &stats.Online{}}
+	if cfg.ChurnOff == 0 {
+		cfg.ChurnOff = sim.Millisecond
+	}
+	c := &ClientHost{
+		H: h, N: n, cfg: cfg, ResponseTimes: &stats.Online{},
+		arena: h.Arena(), rng: h.Rand(),
+	}
 	n.RxHandler = c.handleRx
 	for i := 0; i < cfg.Concurrency; i++ {
 		s := &chSlot{c: c}
@@ -114,12 +134,12 @@ func NewClientHost(h *host.Host, n *nic.NIC, cfg ClientHostConfig) *ClientHost {
 	return c
 }
 
-// pkt builds an addressed control packet for the slot's flow.
+// pkt acquires an addressed control packet for the slot's flow.
 func (s *chSlot) pkt(kind netstack.Kind, size int) *netstack.Packet {
-	return &netstack.Packet{
-		Flow: s.flow, Src: s.c.cfg.Addr, Dst: s.c.cfg.ServerAddr,
-		Kind: kind, Size: size,
-	}
+	p := s.c.arena.Get()
+	p.Flow, p.Src, p.Dst = s.flow, s.c.cfg.Addr, s.c.cfg.ServerAddr
+	p.Kind, p.Size = kind, size
+	return p
 }
 
 // run is the slot's process body: open a connection, fetch once, tear
@@ -140,7 +160,7 @@ func (s *chSlot) run(p *kernel.Proc) {
 	s.got, s.unacked = 0, 0
 	s.connected, s.done = false, false
 	p.Syscall("connect", c.cfg.ConnectWork, func() {
-		p.Chain(c.N.TxSteps(s.pkt(netstack.Syn, c.cfg.HeaderBytes)), func() {
+		p.ChainC(c.N.TxChainOf(s.pkt(netstack.Syn, c.cfg.HeaderBytes)), func() {
 			s.awaitConnected(p)
 		})
 	})
@@ -155,7 +175,7 @@ func (s *chSlot) awaitConnected(p *kernel.Proc) {
 	c := s.c
 	s.reqStart = c.H.K.Now()
 	p.Syscall("sendto", c.cfg.SendWork, func() {
-		p.Chain(c.N.TxSteps(s.pkt(netstack.Request, c.cfg.HeaderBytes+250)), func() {
+		p.ChainC(c.N.TxChainOf(s.pkt(netstack.Request, c.cfg.HeaderBytes+250)), func() {
 			s.awaitResponse(p)
 		})
 	})
@@ -173,7 +193,19 @@ func (s *chSlot) awaitResponse(p *kernel.Proc) {
 		c.Responses++
 		c.ResponseTimes.Add((c.H.K.Now() - s.reqStart).Millis())
 		// Think time: sleep, woken by an engine timer (the CPU may halt).
-		c.H.Engine().After(c.cfg.ThinkTime, func() { s.wq.WakeOne() })
+		// At a churn point the slot instead goes dormant for the base-off
+		// period plus an exponential draw — the client "leaves" and
+		// reconnects later with a fresh flow.
+		gap := c.cfg.ThinkTime
+		if c.cfg.ChurnEvery > 0 {
+			s.resp++
+			if s.resp >= c.cfg.ChurnEvery {
+				s.resp = 0
+				c.Churns++
+				gap = c.cfg.ChurnOff + c.rng.ExpTime(c.cfg.ChurnOff)
+			}
+		}
+		c.H.Engine().After(gap, func() { s.wq.WakeOne() })
 		p.Sleep(&s.wq, func() { s.run(p) })
 	})
 }

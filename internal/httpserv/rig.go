@@ -148,6 +148,7 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 		upLinks[flow%len(upLinks)].Send(p)
 	})
 	clients = NewClientGen(tb.Eng, toServer, cfg.Concurrency, segs, cfg.Server.Persistent)
+	clients.Arena = tb.Net.Arena(0)
 	tb.Clients = clients
 	return tb
 }

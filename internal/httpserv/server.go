@@ -144,6 +144,17 @@ type Server struct {
 	reqQ     []*conn
 	workerWQ kernel.WaitQueue
 
+	// arena is the packet pool replies are acquired from (the NICs' pool,
+	// topology-wired; nil falls back to heap literals). respBuf is the
+	// response-assembly scratch, reused per send — safe because both
+	// transmit disciplines copy the packet pointers out synchronously.
+	arena   *netstack.Arena
+	respBuf []*netstack.Packet
+
+	// freshScript is ConnStart + PreSend, concatenated once at build so
+	// fresh non-persistent requests don't rebuild it per connection.
+	freshScript []ReqStep
+
 	// Paced-transmission state.
 	txQ        []*netstack.Packet
 	softEvUp   bool
@@ -181,10 +192,12 @@ func NewServerMulti(k *kernel.Kernel, f *core.Facility, nics []*nic.NIC, cfg Con
 	}
 	s := &Server{
 		k: k, f: f, nics: nics, cfg: cfg,
+		arena:          nics[0].Arena(),
 		conns:          make(map[int]*conn),
 		PacedIntervals: &stats.Online{},
 		rng:            k.Engine().Rand().Fork(),
 	}
+	s.freshScript = append(append([]ReqStep{}, cfg.Script.ConnStart...), cfg.Script.PreSend...)
 	for _, n := range nics {
 		n.RxHandler = s.handleRx
 	}
@@ -230,16 +243,20 @@ func (s *Server) segments() int {
 // must know when a response is complete.
 func (s *Server) Segments() int { return s.segments() }
 
+// newPkt acquires an addressed reply packet on flow toward dst.
+func (s *Server) newPkt(flow int, dst netstack.Addr, kind netstack.Kind, size int) *netstack.Packet {
+	p := s.arena.Get()
+	p.Flow, p.Src, p.Dst, p.Kind, p.Size = flow, s.Addr, dst, kind, size
+	return p
+}
+
 // handleRx is the protocol-input handler, running in kernel rx context.
 func (s *Server) handleRx(p *netstack.Packet) {
 	switch p.Kind {
 	case netstack.Syn:
 		c := &conn{flow: p.Flow, peer: p.Src, fresh: true}
 		s.conns[p.Flow] = c
-		s.nicFor(p.Flow).TxFromKernel(&netstack.Packet{
-			Flow: p.Flow, Src: s.Addr, Dst: p.Src,
-			Kind: netstack.SynAck, Size: s.cfg.HeaderBytes,
-		})
+		s.nicFor(p.Flow).TxFromKernel(s.newPkt(p.Flow, p.Src, netstack.SynAck, s.cfg.HeaderBytes))
 	case netstack.Request:
 		c := s.conns[p.Flow]
 		if c == nil {
@@ -254,18 +271,12 @@ func (s *Server) handleRx(p *netstack.Packet) {
 		c.pending = true
 		s.reqQ = append(s.reqQ, c)
 		// ACK the request segment (TCP acks data carrying a push).
-		s.nicFor(p.Flow).TxFromKernel(&netstack.Packet{
-			Flow: p.Flow, Src: s.Addr, Dst: c.peer,
-			Kind: netstack.Ack, Size: s.cfg.HeaderBytes,
-		})
+		s.nicFor(p.Flow).TxFromKernel(s.newPkt(p.Flow, c.peer, netstack.Ack, s.cfg.HeaderBytes))
 		s.workerWQ.WakeOne()
 	case netstack.Ack:
 		// Window bookkeeping only; cost charged in the rx path.
 	case netstack.Fin:
-		s.nicFor(p.Flow).TxFromKernel(&netstack.Packet{
-			Flow: p.Flow, Src: s.Addr, Dst: p.Src,
-			Kind: netstack.Ack, Size: s.cfg.HeaderBytes,
-		})
+		s.nicFor(p.Flow).TxFromKernel(s.newPkt(p.Flow, p.Src, netstack.Ack, s.cfg.HeaderBytes))
 		delete(s.conns, p.Flow)
 	}
 }
@@ -284,7 +295,7 @@ func (s *Server) workerLoop(p *kernel.Proc) {
 		c.pending = false
 		start := s.cfg.Script.PreSend
 		if c.fresh && !s.cfg.Persistent {
-			start = append(append([]ReqStep{}, s.cfg.Script.ConnStart...), start...)
+			start = s.freshScript
 		}
 		c.fresh = false
 		s.runScript(p, start, func() {
@@ -327,14 +338,15 @@ func (s *Server) runScript(p *kernel.Proc, steps []ReqStep, cont func()) {
 
 // responsePackets builds the data segments (the last carries the FIN for
 // non-persistent connections, as BSD piggybacks close on the final
-// segment; we keep FIN separate for packet accounting clarity).
+// segment; we keep FIN separate for packet accounting clarity). The
+// returned slice is the server's reusable scratch: callers must copy the
+// pointers out before yielding the CPU.
 func (s *Server) responsePackets(c *conn) []*netstack.Packet {
 	nseg := s.segments()
-	pkts := make([]*netstack.Packet, 0, nseg+1)
-	pkts = append(pkts, &netstack.Packet{ // HTTP response headers
-		Flow: c.flow, Src: s.Addr, Dst: c.peer, Kind: netstack.Data, Seq: 0,
-		Size: 290 + s.cfg.HeaderBytes, Payload: 290,
-	})
+	pkts := s.respBuf[:0]
+	hdr := s.newPkt(c.flow, c.peer, netstack.Data, 290+s.cfg.HeaderBytes) // HTTP response headers
+	hdr.Payload = 290
+	pkts = append(pkts, hdr)
 	remaining := s.cfg.FileBytes
 	for i := 1; i < nseg; i++ {
 		payload := s.cfg.MSS
@@ -342,16 +354,15 @@ func (s *Server) responsePackets(c *conn) []*netstack.Packet {
 			payload = remaining
 		}
 		remaining -= payload
-		pkts = append(pkts, &netstack.Packet{
-			Flow: c.flow, Src: s.Addr, Dst: c.peer, Kind: netstack.Data, Seq: int64(i),
-			Size: payload + s.cfg.HeaderBytes, Payload: payload,
-		})
+		seg := s.newPkt(c.flow, c.peer, netstack.Data, payload+s.cfg.HeaderBytes)
+		seg.Seq = int64(i)
+		seg.Payload = payload
+		pkts = append(pkts, seg)
 	}
 	if !s.cfg.Persistent {
-		pkts = append(pkts, &netstack.Packet{
-			Flow: c.flow, Src: s.Addr, Dst: c.peer, Kind: netstack.Fin, Size: s.cfg.HeaderBytes,
-		})
+		pkts = append(pkts, s.newPkt(c.flow, c.peer, netstack.Fin, s.cfg.HeaderBytes))
 	}
+	s.respBuf = pkts
 	return pkts
 }
 
@@ -361,36 +372,34 @@ func (s *Server) responsePackets(c *conn) []*netstack.Packet {
 // events drain the queue while the worker moves on.
 func (s *Server) sendResponse(p *kernel.Proc, c *conn, cont func()) {
 	sy := s.cfg.Script.SendSyscall
-	pkts := s.responsePackets(c)
-	last := pkts[len(pkts)-1]
 	p.Syscall(sy.Name, sy.Work, func() {
+		// Built here, inside the syscall continuation, so the scratch
+		// buffer is consumed before any other worker can reuse it.
+		pkts := s.responsePackets(c)
 		switch s.cfg.TxMode {
 		case TxBurst:
-			steps := s.nicFor(c.flow).TxSteps(pkts...)
-			// Completion is the final segment leaving ip-output.
-			prev := steps[len(steps)-1].Fn
-			steps[len(steps)-1].Fn = func() {
-				prev()
+			// Completion is the final segment leaving ip-output — the same
+			// instant the chain completes.
+			p.ChainC(s.nicFor(c.flow).TxChainOf(pkts...), func() {
 				s.Completed++
-			}
-			p.Chain(steps, cont)
+				cont()
+			})
 		default:
-			s.enqueuePaced(pkts, last)
+			s.enqueuePaced(pkts)
 			cont()
 		}
 	})
 }
 
-// enqueuePaced queues response packets for timer-driven transmission.
-func (s *Server) enqueuePaced(pkts []*netstack.Packet, last *netstack.Packet) {
-	last.Info = completionMark{}
+// enqueuePaced queues response packets for timer-driven transmission,
+// marking the train's last packet so its send counts a completion.
+func (s *Server) enqueuePaced(pkts []*netstack.Packet) {
+	pkts[len(pkts)-1].Mark = true
 	s.txQ = append(s.txQ, pkts...)
 	if s.cfg.TxMode == TxSoftPaced {
 		s.armSoftPacer()
 	}
 }
-
-type completionMark struct{}
 
 // popPaced removes the head of the paced queue, recording the interval
 // since the previous send — but only when the packet was already waiting
@@ -411,7 +420,7 @@ func (s *Server) popPaced() *netstack.Packet {
 	s.lastPaced = now
 	// The next interval is back-to-back only if more packets wait now.
 	s.backlogged = len(s.txQ) > 0
-	if _, done := pkt.Info.(completionMark); done {
+	if pkt.Mark {
 		s.Completed++
 	}
 	return pkt

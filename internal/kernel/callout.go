@@ -57,29 +57,32 @@ func (k *Kernel) TickPeriod() sim.Time { return sim.Second / sim.Time(k.opts.Hz)
 // bounds event delay at one tick.
 func (k *Kernel) scheduleHardclock() {
 	period := k.TickPeriod()
+	// One closure for the handler body and one for the tick, both bound
+	// here once — the per-tick path allocates nothing.
+	body := func() {
+		k.tick++
+		// Reschedule at the next user-mode boundary when the
+		// quantum expired, or when a ready process outranks the
+		// running one (BSD recomputes priorities at clock ticks).
+		if k.running != nil && len(k.runq) > 0 {
+			if k.eng.Now()-k.running.quantumStart >= k.opts.Quantum {
+				k.reschedule = true
+			}
+			for _, p := range k.runq {
+				if p.Priority > k.running.Priority {
+					k.reschedule = true
+					break
+				}
+			}
+		}
+		k.callouts.wheel.Advance(uint64(k.tick))
+	}
 	var tick func()
 	n := int64(0)
 	tick = func() {
 		n++
 		k.eng.AtLabeled(sim.Time(n+1)*period, "hardclock", tick)
-		k.RaiseInterrupt(SrcHardClock, k.opts.HardclockWork, func() {
-			k.tick++
-			// Reschedule at the next user-mode boundary when the
-			// quantum expired, or when a ready process outranks the
-			// running one (BSD recomputes priorities at clock ticks).
-			if k.running != nil && len(k.runq) > 0 {
-				if k.eng.Now()-k.running.quantumStart >= k.opts.Quantum {
-					k.reschedule = true
-				}
-				for _, p := range k.runq {
-					if p.Priority > k.running.Priority {
-						k.reschedule = true
-						break
-					}
-				}
-			}
-			k.callouts.wheel.Advance(uint64(k.tick))
-		})
+		k.RaiseInterrupt(SrcHardClock, k.opts.HardclockWork, body)
 	}
 	k.eng.AtLabeled(k.eng.Now()+period, "hardclock", tick)
 }

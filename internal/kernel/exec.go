@@ -28,6 +28,12 @@ type segment struct {
 	startAt   sim.Time
 	doneEv    sim.Event
 	then      func()
+
+	// Pool bookkeeping: segments recycle on the kernel's free list, and
+	// each carries its completion closure bound once at first allocation
+	// so (re)scheduling a segment allocates nothing.
+	nextFree *segment
+	finFn    func()
 }
 
 // acctClass says which Accounting bucket a chain's work belongs to.
@@ -58,13 +64,32 @@ type intrReq struct {
 	fn   func()
 }
 
-// softReq is a pending software interrupt: either a fixed chain of steps or
-// a builder invoked at run time (so work that accumulates between posting
+// softReq is a pending software interrupt: a fixed chain of steps, a
+// builder invoked at run time (so work that accumulates between posting
 // and execution — e.g. packets queued by further interrupts — is all
-// processed in one batch).
+// processed in one batch), or a Chain value driven step by step. n is the
+// step count known at post time, recorded in the trace (builders and
+// batching chains post 0, exactly as the builder form always has).
 type softReq struct {
 	steps []ChainStep
 	build func() []ChainStep
+	chain Chain
+	n     int
+}
+
+// Chain is the allocation-free softirq work form: instead of materializing
+// a []ChainStep (a slice plus one closure per step), the poster hands the
+// kernel a reusable object it drives step by step. Begin is called when
+// the softirq actually runs — after the entry cost, like the builder form
+// — so work that accumulated since posting is batched; it returns the
+// step count. Step reports step i's CPU work and trigger source (SrcNone
+// for none); Run performs its side effects; End is called after the last
+// step, where a pooled chain recycles itself.
+type Chain interface {
+	Begin() int
+	Step(i int) (work sim.Time, src Source)
+	Run(i int)
+	End()
 }
 
 // isIdle reports whether the CPU is in the idle state.
@@ -86,7 +111,7 @@ func (k *Kernel) PostSoftIRQ(steps ...ChainStep) {
 	if len(steps) == 0 {
 		return
 	}
-	k.pendSoft = append(k.pendSoft, softReq{steps: steps})
+	k.pendSoft = append(k.pendSoft, softReq{steps: steps, n: len(steps)})
 	k.kick()
 }
 
@@ -97,6 +122,19 @@ func (k *Kernel) PostSoftIRQBuilder(build func() []ChainStep) {
 		panic("kernel: nil softirq builder")
 	}
 	k.pendSoft = append(k.pendSoft, softReq{build: build})
+	k.kick()
+}
+
+// PostSoftIRQChain queues a software interrupt driven through the Chain
+// interface — the zero-allocation form of PostSoftIRQ/PostSoftIRQBuilder.
+// n is the post-time step count recorded in the trace: pass the known
+// length for a fixed chain, 0 for one that batches at run time (matching
+// the builder form's trace).
+func (k *Kernel) PostSoftIRQChain(c Chain, n int) {
+	if c == nil {
+		panic("kernel: nil softirq chain")
+	}
+	k.pendSoft = append(k.pendSoft, softReq{chain: c, n: n})
 	k.kick()
 }
 
@@ -158,21 +196,39 @@ func (k *Kernel) accountSeg(s *segment, d sim.Time) {
 	}
 }
 
+// intrPending reports whether any interrupt-context work is queued.
+func (k *Kernel) intrPending() bool {
+	return k.intrHead < len(k.pendIntr) || k.softHead < len(k.pendSoft)
+}
+
 // serviceIntr runs the next piece of interrupt-context work, or resumes the
-// preempted segment / dispatches when none remains.
+// preempted segment / dispatches when none remains. The pending queues are
+// head-indexed rings: popping advances a cursor and draining resets the
+// slice, so steady-state servicing reuses one backing array instead of
+// reallocating on every append after a [1:] reslice.
 func (k *Kernel) serviceIntr() {
 	if k.inIntr {
 		panic("kernel: serviceIntr while in interrupt context")
 	}
-	if len(k.pendIntr) > 0 {
-		req := k.pendIntr[0]
-		k.pendIntr = k.pendIntr[1:]
+	if k.intrHead < len(k.pendIntr) {
+		req := k.pendIntr[k.intrHead]
+		k.pendIntr[k.intrHead] = intrReq{}
+		k.intrHead++
+		if k.intrHead == len(k.pendIntr) {
+			k.pendIntr = k.pendIntr[:0]
+			k.intrHead = 0
+		}
 		k.runIntr(req)
 		return
 	}
-	if len(k.pendSoft) > 0 {
-		req := k.pendSoft[0]
-		k.pendSoft = k.pendSoft[1:]
+	if k.softHead < len(k.pendSoft) {
+		req := k.pendSoft[k.softHead]
+		k.pendSoft[k.softHead] = softReq{}
+		k.softHead++
+		if k.softHead == len(k.pendSoft) {
+			k.pendSoft = k.pendSoft[:0]
+			k.softHead = 0
+		}
 		k.runSoft(req)
 		return
 	}
@@ -183,8 +239,27 @@ func (k *Kernel) serviceIntr() {
 	k.dispatch()
 }
 
+// intrLabel returns the precomputed "intr:<source>" event label.
+func intrLabel(src Source) string {
+	if src >= 0 && int(src) < len(intrLabels) {
+		return intrLabels[src]
+	}
+	return "intr:" + src.String()
+}
+
+var intrLabels = func() [numSources]string {
+	var a [numSources]string
+	for i := range a {
+		a[i] = "intr:" + Source(i).String()
+	}
+	return a
+}()
+
 // runIntr executes one hardware interrupt: entry cost + handler work, side
-// effects at the end, then the end-of-handler trigger state.
+// effects at the end, then the end-of-handler trigger state. Only one
+// hardware interrupt executes at a time (further ones queue with
+// interrupts disabled), so the in-flight request parks in curIntr and the
+// completion closures are bound once at construction.
 func (k *Kernel) runIntr(req intrReq) {
 	k.inIntr = true
 	k.acct.Interrupts++
@@ -193,78 +268,144 @@ func (k *Kernel) runIntr(req intrReq) {
 	k.acct.Intr += dur
 	k.mIntr[req.src].Inc()
 	k.mIntrNS[req.src].Add(int64(dur))
+	k.curIntr = req
 	// Fault-injected delivery jitter delays the handler's completion (the
 	// controller asserted the line late) without charging CPU time — only
 	// the handler's own dur lands in the interrupt accounting.
-	k.eng.AfterLabeled(dur+k.opts.Faults.IntrJitter(), "intr:"+req.src.String(), func() {
-		if req.fn != nil {
-			req.fn() // side effects while interrupts still disabled
-		}
-		k.inIntr = false
-		k.trigger(req.src, func() {
-			if k.paused != nil {
-				// Locality penalty inflicted on the interrupted work.
-				k.paused.remaining += k.paused.p.pollute(k.prof.IntrPollution)
-			}
-			k.serviceIntr()
-		})
-	})
+	k.eng.AfterLabeled(dur+k.opts.Faults.IntrJitter(), intrLabel(req.src), k.intrBodyFn)
+}
+
+// intrBody is the deferred tail of runIntr (bound once as intrBodyFn).
+func (k *Kernel) intrBody() {
+	req := k.curIntr
+	k.curIntr = intrReq{}
+	if req.fn != nil {
+		req.fn() // side effects while interrupts still disabled
+	}
+	k.inIntr = false
+	k.trigger(req.src, k.intrContFn)
+}
+
+// intrCont runs after the end-of-handler trigger state (bound once).
+func (k *Kernel) intrCont() {
+	if k.paused != nil {
+		// Locality penalty inflicted on the interrupted work.
+		k.paused.remaining += k.paused.p.pollute(k.prof.IntrPollution)
+	}
+	k.serviceIntr()
 }
 
 // runSoft executes one software interrupt: entry cost, then its chain.
+// Like hardware interrupts, at most one is in flight per kernel.
 func (k *Kernel) runSoft(req softReq) {
 	k.inIntr = true
-	k.tr(trace.SoftIRQ, "softirq", int64(len(req.steps)))
+	k.tr(trace.SoftIRQ, "softirq", int64(req.n))
 	k.acct.SoftIRQ += k.sirqDirect
-	k.eng.After(k.sirqDirect, func() {
-		steps := req.steps
-		if req.build != nil {
-			steps = req.build()
-		}
-		k.chainStep(steps, 0, acctSoftIRQ, func() {
-			k.inIntr = false
-			if k.paused != nil {
-				k.paused.remaining += k.paused.p.pollute(k.sirqPollution)
-			}
-			k.serviceIntr()
-		})
-	})
+	k.curSoft = req
+	k.eng.After(k.sirqDirect, k.softBodyFn)
 }
 
-// chainStep executes steps[i:] back to back in the current (interrupt-like)
-// context, then done. inIntr must be true on entry and stays true
-// throughout; triggers between steps extend the occupancy by any soft-timer
-// handler time.
-func (k *Kernel) chainStep(steps []ChainStep, i int, class acctClass, done func()) {
-	if i >= len(steps) {
+// softBody starts the softirq's chain after the entry cost (bound once).
+func (k *Kernel) softBody() {
+	req := k.curSoft
+	k.curSoft = softReq{}
+	steps := req.steps
+	if req.build != nil {
+		steps = req.build()
+	}
+	k.chainStart(steps, req.chain, acctSoftIRQ, k.softDoneFn)
+}
+
+// softDone finishes the softirq (bound once).
+func (k *Kernel) softDone() {
+	k.inIntr = false
+	if k.paused != nil {
+		k.paused.remaining += k.paused.p.pollute(k.sirqPollution)
+	}
+	k.serviceIntr()
+}
+
+// chainStart begins executing a work chain — either a []ChainStep slice or
+// a Chain value — in the current (interrupt-like) context, then done.
+// inIntr must be true on entry and stays true throughout; triggers between
+// steps extend the occupancy by any soft-timer handler time. At most one
+// chain runs at a time per kernel (chains execute inside interrupt or
+// syscall context, both exclusive), so the walk state lives in fields and
+// the step closures are bound once at construction.
+func (k *Kernel) chainStart(steps []ChainStep, c Chain, class acctClass, done func()) {
+	if k.chDone != nil {
+		panic("kernel: nested work chain")
+	}
+	k.chSteps, k.chChain, k.chClass, k.chDone = steps, c, class, done
+	if c != nil {
+		k.chLen = c.Begin()
+	} else {
+		k.chLen = len(steps)
+	}
+	k.chIdx = 0
+	k.chainNext()
+}
+
+// chainNext schedules step chIdx's work, or finishes the chain.
+func (k *Kernel) chainNext() {
+	if k.chIdx >= k.chLen {
+		done, c := k.chDone, k.chChain
+		k.chSteps, k.chChain, k.chDone = nil, nil, nil
+		if c != nil {
+			c.End()
+		}
 		done()
 		return
 	}
-	st := steps[i]
 	var w sim.Time
-	switch class {
+	var src Source
+	if k.chChain != nil {
+		w, src = k.chChain.Step(k.chIdx)
+	} else {
+		st := &k.chSteps[k.chIdx]
+		w, src = st.Work, st.Src
+	}
+	k.chSrc = src
+	switch k.chClass {
 	case acctSoftIRQ:
-		w = k.prof.Work(st.Work)
+		w = k.prof.Work(w)
 		k.acct.SoftIRQ += w
 	case acctIntr:
-		w = k.prof.Work(st.Work)
+		w = k.prof.Work(w)
 		k.acct.Intr += w
 	default:
 		// Kernel-context chains (syscall-driven protocol output loops)
 		// carry the fault plan's CPU-cost perturbation.
-		w = k.workFaulted(st.Work)
+		w = k.workFaulted(w)
 		k.acct.Kernel += w
 	}
-	k.eng.After(w, func() {
-		if st.Fn != nil {
-			st.Fn()
-		}
-		if st.Src >= 0 {
-			k.triggerInCtx(st.Src, func() { k.chainStep(steps, i+1, class, done) })
-			return
-		}
-		k.chainStep(steps, i+1, class, done)
-	})
+	k.eng.After(w, k.chRunFn)
+}
+
+// chainRun performs the current step's side effects after its work time
+// (bound once as chRunFn), then advances — via the step's trigger state
+// when it has one.
+func (k *Kernel) chainRun() {
+	i := k.chIdx
+	k.chIdx++
+	if k.chChain != nil {
+		k.chChain.Run(i)
+	} else if fn := k.chSteps[i].Fn; fn != nil {
+		fn()
+	}
+	if k.chSrc >= 0 {
+		k.triggerInCtx(k.chSrc, k.chNextFn)
+		return
+	}
+	k.chainNext()
+}
+
+// procChainDone finishes a Proc.Chain / Proc.ChainC (bound once).
+func (k *Kernel) procChainDone() {
+	p, then := k.chProc, k.chThen
+	k.chProc, k.chThen = nil, nil
+	k.inIntr = false
+	k.continueProc(p, then)
 }
 
 // triggerInCtx reports a trigger state from within occupied CPU context:
@@ -293,7 +434,7 @@ func (k *Kernel) startSegment(s *segment) {
 	if k.seg != nil {
 		panic("kernel: startSegment with a segment already running")
 	}
-	if len(k.pendIntr) > 0 || len(k.pendSoft) > 0 {
+	if k.intrPending() {
 		if k.paused != nil {
 			panic("kernel: startSegment with another segment paused")
 		}
@@ -317,25 +458,72 @@ func (k *Kernel) startSegment(s *segment) {
 	}
 	k.seg = s
 	s.startAt = k.eng.Now()
-	s.doneEv = k.eng.AtLabeled(k.eng.Now()+s.remaining, "seg:"+s.name, func() { k.finishSegment(s) })
+	s.doneEv = k.eng.AtLabeled(k.eng.Now()+s.remaining, k.segLabel(s.name), s.finFn)
+}
+
+// segLabel memoizes "seg:<name>" labels — segment names are a small fixed
+// vocabulary per workload, so the label concat happens once per name.
+func (k *Kernel) segLabel(name string) string {
+	l, ok := k.segLabels[name]
+	if !ok {
+		l = "seg:" + name
+		k.segLabels[name] = l
+	}
+	return l
 }
 
 // finishSegment completes a segment: account it, fire the trigger state for
-// kernel-mode segments, and continue the process.
+// kernel-mode segments, and continue the process. The segment recycles
+// here — its fields are stashed first, and only finishSegment ends a
+// segment's lifetime (preemption keeps it alive as paused/pending).
 func (k *Kernel) finishSegment(s *segment) {
 	k.accountSeg(s, k.eng.Now()-s.startAt)
 	k.seg = nil
-	p := s.p
-	switch s.kind {
+	p, then, kind := s.p, s.then, s.kind
+	k.freeSegment(s)
+	switch kind {
 	case segSyscall:
 		k.acct.Syscalls++
-		k.trigger(SrcSyscall, func() { k.continueProc(p, s.then) })
+		k.finProc, k.finThen = p, then
+		k.trigger(SrcSyscall, k.segContFn)
 	case segTrap:
 		k.acct.Traps++
-		k.trigger(SrcTrap, func() { k.continueProc(p, s.then) })
+		k.finProc, k.finThen = p, then
+		k.trigger(SrcTrap, k.segContFn)
 	default:
-		k.continueProc(p, s.then)
+		k.continueProc(p, then)
 	}
+}
+
+// segCont continues the process whose segment just finished (bound once;
+// at most one segment completion is in flight per kernel).
+func (k *Kernel) segCont() {
+	p, then := k.finProc, k.finThen
+	k.finProc, k.finThen = nil, nil
+	k.continueProc(p, then)
+}
+
+// newSegment takes a segment from the free list (or grows it), binding the
+// completion closure exactly once per pooled object.
+func (k *Kernel) newSegment() *segment {
+	s := k.segFree
+	if s == nil {
+		s = &segment{}
+		s.finFn = func() { k.finishSegment(s) }
+	} else {
+		k.segFree = s.nextFree
+		s.nextFree = nil
+	}
+	return s
+}
+
+// freeSegment recycles a finished segment.
+func (k *Kernel) freeSegment(s *segment) {
+	s.p, s.then = nil, nil
+	s.name = ""
+	s.doneEv = sim.Event{}
+	s.nextFree = k.segFree
+	k.segFree = s
 }
 
 // continueProc runs a process continuation; if it performs no further
@@ -375,7 +563,7 @@ func (k *Kernel) dispatch() {
 	if k.inIntr || k.seg != nil {
 		return // busy; completion will dispatch again
 	}
-	if len(k.pendIntr) > 0 || len(k.pendSoft) > 0 {
+	if k.intrPending() {
 		k.serviceIntr()
 		return
 	}
@@ -425,38 +613,47 @@ func (k *Kernel) switchNext() {
 	// first dispatch after boot has no prior context to save.
 	switched := k.lastRun != nil && p != k.lastRun
 	k.lastRun = p
-	resume := func() {
-		if p.pending != nil {
-			s := p.pending
-			p.pending = nil
-			if switched {
-				s.remaining += p.pollute(k.prof.CtxPollution)
-			}
-			k.startSegment(s)
-			return
-		}
-		if p.resume != nil {
-			r := p.resume
-			p.resume = nil
-			if switched {
-				p.polluteNext = true
-			}
-			k.continueProc(p, r)
-			return
-		}
-		k.exitProc(p)
-	}
 	if switched {
 		k.acct.Switches++
 		k.acct.CtxSwitch += k.prof.CtxSwitch
 		k.inIntr = true // switch code is non-preemptible
-		k.eng.After(k.prof.CtxSwitch, func() {
-			k.inIntr = false
-			resume()
-		})
+		k.swProc = p
+		k.eng.After(k.prof.CtxSwitch, k.swResumeFn)
 		return
 	}
-	resume()
+	k.resumeProc(p, false)
+}
+
+// swResume is the deferred tail of a paid context switch (bound once; the
+// switch code is non-preemptible, so only one is in flight).
+func (k *Kernel) swResume() {
+	k.inIntr = false
+	p := k.swProc
+	k.swProc = nil
+	k.resumeProc(p, true)
+}
+
+// resumeProc hands the CPU to the freshly scheduled process.
+func (k *Kernel) resumeProc(p *Proc, switched bool) {
+	if p.pending != nil {
+		s := p.pending
+		p.pending = nil
+		if switched {
+			s.remaining += p.pollute(k.prof.CtxPollution)
+		}
+		k.startSegment(s)
+		return
+	}
+	if p.resume != nil {
+		r := p.resume
+		p.resume = nil
+		if switched {
+			p.polluteNext = true
+		}
+		k.continueProc(p, r)
+		return
+	}
+	k.exitProc(p)
 }
 
 // goIdle parks the CPU. With the idle loop enabled, each iteration is a
@@ -483,7 +680,7 @@ func (k *Kernel) goIdle() {
 			}
 		}
 	}
-	k.idleEv = k.eng.AfterLabeled(k.prof.IdlePoll, "idle", k.idleTick)
+	k.idleEv = k.eng.AfterLabeled(k.prof.IdlePoll, "idle", k.idleTickFn)
 }
 
 func (k *Kernel) idleTick() {
@@ -491,17 +688,20 @@ func (k *Kernel) idleTick() {
 	// trigger (soft handlers may run), then either dispatch real work or
 	// resume idling.
 	k.stopIdle()
-	k.trigger(SrcIdle, func() {
-		if len(k.pendIntr) > 0 || len(k.pendSoft) > 0 {
-			k.serviceIntr()
-			return
-		}
-		if len(k.runq) > 0 {
-			k.dispatch()
-			return
-		}
-		k.goIdle()
-	})
+	k.trigger(SrcIdle, k.idleContFn)
+}
+
+// idleCont resumes after an idle-loop trigger state (bound once).
+func (k *Kernel) idleCont() {
+	if k.intrPending() {
+		k.serviceIntr()
+		return
+	}
+	if len(k.runq) > 0 {
+		k.dispatch()
+		return
+	}
+	k.goIdle()
 }
 
 // NudgeIdle re-evaluates a halted idle CPU's decision not to poll. The
@@ -520,7 +720,7 @@ func (k *Kernel) NudgeIdle() {
 			return // stay halted
 		}
 	}
-	k.idleEv = k.eng.AfterLabeled(k.prof.IdlePoll, "idle", k.idleTick)
+	k.idleEv = k.eng.AfterLabeled(k.prof.IdlePoll, "idle", k.idleTickFn)
 }
 
 // stopIdle leaves the idle state, accumulating idle time.

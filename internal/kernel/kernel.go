@@ -249,9 +249,48 @@ type Kernel struct {
 
 	inIntr     bool // executing hardware/software interrupt or soft handlers
 	pendIntr   []intrReq
+	intrHead   int // first unserviced pendIntr entry (head-indexed queue)
 	pendSoft   []softReq
+	softHead   int   // first unserviced pendSoft entry
 	reschedule bool  // quantum expired; switch at next user-mode boundary
 	lastRun    *Proc // last process to own the CPU, for switch-cost checks
+
+	// In-flight interrupt-context state. The kernel executes at most one
+	// hardware interrupt, one softirq, one work chain, one aux occupancy
+	// and one paid context switch at a time, so each parks its request in
+	// a field and reuses a closure bound once at construction — the hot
+	// path schedules engine events without allocating.
+	curIntr    intrReq
+	intrBodyFn func()
+	intrContFn func()
+	curSoft    softReq
+	softBodyFn func()
+	softDoneFn func()
+	chSteps    []ChainStep
+	chChain    Chain
+	chLen      int
+	chIdx      int
+	chClass    acctClass
+	chSrc      Source
+	chDone     func()
+	chRunFn    func()
+	chNextFn   func()
+	chProc     *Proc  // Proc.Chain's continuation target
+	chThen     func() // Proc.Chain's continuation
+	chProcFn   func()
+	finProc    *Proc  // finished segment's process
+	finThen    func() // finished segment's continuation
+	segContFn  func()
+	auxCont    func()
+	auxFn      func()
+	swProc     *Proc // process resuming after a paid context switch
+	swResumeFn func()
+	idleTickFn func()
+	idleContFn func()
+
+	// Segment pool and memoized "seg:<name>" labels.
+	segFree   *segment
+	segLabels map[string]string
 
 	idle      bool
 	idleEv    sim.Event
@@ -294,6 +333,19 @@ func New(eng *sim.Engine, prof cpu.Profile, opts Options) *Kernel {
 		k.sirqPollution = prof.IntrPollution / 2
 	}
 	k.callouts = newCalloutWheel()
+	k.segLabels = make(map[string]string)
+	k.intrBodyFn = k.intrBody
+	k.intrContFn = k.intrCont
+	k.softBodyFn = k.softBody
+	k.softDoneFn = k.softDone
+	k.chRunFn = k.chainRun
+	k.chNextFn = k.chainNext
+	k.chProcFn = k.procChainDone
+	k.segContFn = k.segCont
+	k.auxFn = k.auxRun
+	k.swResumeFn = k.swResume
+	k.idleTickFn = k.idleTick
+	k.idleContFn = k.idleCont
 	k.initMetrics()
 	if opts.Faults != nil {
 		k.pert = opts.Faults
@@ -446,12 +498,24 @@ func (k *Kernel) workFaulted(d sim.Time) sim.Time {
 
 // runAux occupies the CPU for d (soft-timer handler execution), then cont.
 // Interrupts arriving meanwhile queue; they are serviced at the next
-// settling point (startSegment or dispatch) that cont leads to.
+// settling point (startSegment or dispatch) that cont leads to. Aux
+// occupancies never nest (handlers already ran inside the sink; nothing
+// reports a new trigger state until cont), so the continuation parks in a
+// field and the completion closure is bound once.
 func (k *Kernel) runAux(d sim.Time, cont func()) {
+	if k.auxCont != nil {
+		panic("kernel: nested aux occupancy")
+	}
 	k.inIntr = true
 	k.acct.SoftTimer += d
-	k.eng.After(d, func() {
-		k.inIntr = false
-		cont()
-	})
+	k.auxCont = cont
+	k.eng.After(d, k.auxFn)
+}
+
+// auxRun is runAux's deferred tail (bound once as auxFn).
+func (k *Kernel) auxRun() {
+	cont := k.auxCont
+	k.auxCont = nil
+	k.inIntr = false
+	cont()
 }

@@ -49,6 +49,19 @@ func (p *PIT) Start() {
 	p.running = true
 	base := p.k.eng.Now()
 	p.n = 0
+	// The handler body and the fault-deferred raise are bound once per
+	// Start, so steady-state ticking allocates nothing.
+	body := func() {
+		p.pending = false
+		p.Fires++
+		if p.handler != nil {
+			p.handler()
+		}
+	}
+	raise := func() {
+		p.jitterEv = sim.Event{}
+		p.k.RaiseInterrupt(SrcPIT, p.work, body)
+	}
 	var tick func()
 	tick = func() {
 		if !p.running {
@@ -63,16 +76,6 @@ func (p *PIT) Start() {
 			return
 		}
 		p.pending = true
-		raise := func() {
-			p.jitterEv = sim.Event{}
-			p.k.RaiseInterrupt(SrcPIT, p.work, func() {
-				p.pending = false
-				p.Fires++
-				if p.handler != nil {
-					p.handler()
-				}
-			})
-		}
 		// Fault-injected delivery perturbation: the line is asserted now
 		// (pending is already set, so meanwhile ticks merge into Lost),
 		// but the CPU sees the interrupt late — up to a full period under

@@ -135,10 +135,19 @@ func (p *Proc) Chain(steps []ChainStep, then func()) {
 	p.acted = true
 	k := p.k
 	k.inIntr = true
-	k.chainStep(steps, 0, acctKernel, func() {
-		k.inIntr = false
-		k.continueProc(p, then)
-	})
+	k.chProc, k.chThen = p, then
+	k.chainStart(steps, nil, acctKernel, k.chProcFn)
+}
+
+// ChainC is Chain with the work expressed through the Chain interface —
+// the allocation-free form for pooled protocol-output chains.
+func (p *Proc) ChainC(c Chain, then func()) {
+	p.mustOwnCPU("ChainC")
+	p.acted = true
+	k := p.k
+	k.inIntr = true
+	k.chProc, k.chThen = p, then
+	k.chainStart(nil, c, acctKernel, k.chProcFn)
 }
 
 // Sleep blocks the process on wq; when woken, then runs once the scheduler
@@ -188,7 +197,9 @@ func (p *Proc) newSegment(kind segKind, name string, work sim.Time, then func())
 		w += p.pollute(p.k.prof.CtxPollution)
 		p.polluteNext = false
 	}
-	return &segment{p: p, kind: kind, name: name, remaining: w, then: then}
+	s := p.k.newSegment()
+	s.p, s.kind, s.name, s.remaining, s.then = p, kind, name, w, then
+	return s
 }
 
 // WaitQueue is a kernel sleep queue. The zero value is ready to use.

@@ -1,0 +1,387 @@
+package netstack
+
+import (
+	"strings"
+	"testing"
+
+	"softtimers/internal/faults"
+	"softtimers/internal/sim"
+)
+
+func mustPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v is not a string", r)
+		}
+		if !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not contain %q", msg, substr)
+		}
+	}()
+	fn()
+}
+
+func TestArenaExactlyOnceRelease(t *testing.T) {
+	a := NewArena()
+	pkts := make([]*Packet, 3*arenaChunk)
+	for i := range pkts {
+		pkts[i] = a.Get()
+		pkts[i].Flow = i
+	}
+	if a.Live() != int64(len(pkts)) {
+		t.Fatalf("Live = %d, want %d", a.Live(), len(pkts))
+	}
+	for _, p := range pkts {
+		a.Release(p)
+	}
+	if a.Live() != 0 {
+		t.Fatalf("Live after release = %d, want 0", a.Live())
+	}
+	// A second release of an already-freed packet is a lifecycle bug and
+	// must panic, not silently corrupt the free list.
+	mustPanic(t, "released after free", func() { a.Release(pkts[0]) })
+}
+
+func TestArenaRetainGivesExtraLife(t *testing.T) {
+	a := NewArena()
+	p := a.Get()
+	h := HandleOf(p)
+	p.Retain()
+	a.Release(p)
+	if !h.Valid() {
+		t.Fatal("handle went stale after first release of a retained packet")
+	}
+	if a.Live() != 1 {
+		t.Fatalf("Live = %d, want 1 (one reference outstanding)", a.Live())
+	}
+	a.Release(p)
+	if h.Valid() {
+		t.Fatal("handle still valid after final release")
+	}
+	if a.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", a.Live())
+	}
+}
+
+func TestArenaStaleHandle(t *testing.T) {
+	a := NewArena()
+	p := a.Get()
+	h := HandleOf(p)
+	if !h.Valid() || h.Get() != p {
+		t.Fatal("fresh handle should be valid and resolve to its packet")
+	}
+	a.Release(p)
+	if h.Valid() {
+		t.Fatal("handle to a freed packet must be invalid")
+	}
+	mustPanic(t, "stale packet handle", func() { h.Get() })
+
+	// The handle stays stale across the slot's next incarnation: a new Get
+	// reusing the same memory carries a bumped generation.
+	q := a.Get()
+	if q != p {
+		t.Fatalf("LIFO free list should hand the slot back (got %p, want %p)", q, p)
+	}
+	if h.Valid() {
+		t.Fatal("old handle must not validate against the recycled incarnation")
+	}
+	if !HandleOf(q).Valid() {
+		t.Fatal("fresh handle to the recycled incarnation must be valid")
+	}
+	a.Release(q)
+}
+
+func TestArenaHandleOfLiteral(t *testing.T) {
+	p := &Packet{Flow: 7}
+	h := HandleOf(p)
+	if !h.Valid() || h.Get() != p {
+		t.Fatal("handles to non-pooled literals are always valid")
+	}
+	var none Handle
+	if none.Valid() {
+		t.Fatal("zero handle must be invalid")
+	}
+}
+
+func TestArenaCloneIndependence(t *testing.T) {
+	a := NewArena()
+	src := a.Get()
+	src.Flow, src.Seq, src.Size, src.Kind = 42, 9, 1500, Data
+	cp := a.Clone(src)
+	if cp == src {
+		t.Fatal("Clone returned the source packet")
+	}
+	if cp.Flow != 42 || cp.Seq != 9 || cp.Size != 1500 || cp.Kind != Data {
+		t.Fatalf("clone did not copy public fields: %+v", cp)
+	}
+	cp.Seq = 100
+	if src.Seq != 9 {
+		t.Fatal("mutating the clone leaked into the source")
+	}
+	// Each has its own single reference and releases independently.
+	a.Release(cp)
+	if !HandleOf(src).Valid() {
+		t.Fatal("releasing the clone freed the source")
+	}
+	a.Release(src)
+	if a.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", a.Live())
+	}
+}
+
+func TestArenaNilFallbacks(t *testing.T) {
+	var a *Arena
+	p := a.Get()
+	if p == nil || p.Pooled() {
+		t.Fatal("nil-arena Get should return a non-pooled literal")
+	}
+	a.Release(p)          // no-op on literals
+	a.Release(nil)        // nil packet is fine
+	NewArena().Release(p) // literals are ignored by real arenas too
+
+	// Clone of a pooled source on a nil arena must clear pool bookkeeping
+	// so the copy never aliases free-list state.
+	real := NewArena()
+	src := real.Get()
+	src.Retain()
+	cp := a.Clone(src)
+	if cp.Pooled() {
+		t.Fatal("nil-arena clone must not claim to be pooled")
+	}
+	if cp.ref != 0 || cp.gen != 0 || cp.next != nil {
+		t.Fatalf("nil-arena clone carries pool state: ref=%d gen=%d next=%p",
+			cp.ref, cp.gen, cp.next)
+	}
+	real.Release(src)
+	real.Release(src)
+}
+
+// TestPropertyArenaNoAliasing drives randomized Get/Retain/Release/Clone
+// streams (the shape a fault plan produces: dup clones, drop releases,
+// retained multi-hop packets) and checks the pool invariants after every
+// step: no two live packets share a pointer, handles go stale exactly when
+// the last reference drops, and Live() matches the tracked live set.
+func TestPropertyArenaNoAliasing(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 99, 12345} {
+		plan := faults.New(seed, faults.Spec{Drop: 0.3, Dup: 0.2})
+		rng := plan.Stream("arena-prop")
+		a := NewArena()
+
+		type liveRef struct {
+			h    Handle
+			refs int
+		}
+		live := map[*Packet]*liveRef{}
+		acquire := func(p *Packet) {
+			if _, dup := live[p]; dup {
+				t.Fatalf("seed %d: arena handed out a pointer that is still live", seed)
+			}
+			live[p] = &liveRef{h: HandleOf(p), refs: 1}
+		}
+		var order []*Packet // insertion order, for uniform random picks
+
+		for step := 0; step < 5000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4 || len(order) == 0: // Get
+				p := a.Get()
+				acquire(p)
+				order = append(order, p)
+			case op < 6: // Clone a random live packet
+				src := order[rng.Intn(len(order))]
+				cp := a.Clone(src)
+				acquire(cp)
+				order = append(order, cp)
+			case op < 7: // Retain a random live packet
+				p := order[rng.Intn(len(order))]
+				p.Retain()
+				live[p].refs++
+			default: // Release one reference
+				i := rng.Intn(len(order))
+				p := order[i]
+				lr := live[p]
+				a.Release(p)
+				lr.refs--
+				if lr.refs > 0 {
+					if !lr.h.Valid() {
+						t.Fatalf("seed %d: handle stale with %d refs left", seed, lr.refs)
+					}
+					break
+				}
+				if lr.h.Valid() {
+					t.Fatalf("seed %d: handle survived the final release", seed)
+				}
+				delete(live, p)
+				order[i] = order[len(order)-1]
+				order = order[:len(order)-1]
+			}
+			if int(a.Live()) != len(live) {
+				t.Fatalf("seed %d step %d: Live = %d, tracked %d", seed, step, a.Live(), len(live))
+			}
+		}
+		for _, p := range order {
+			for live[p].refs > 0 {
+				a.Release(p)
+				live[p].refs--
+			}
+		}
+		if a.Live() != 0 {
+			t.Fatalf("seed %d: Live = %d after draining", seed, a.Live())
+		}
+	}
+}
+
+// releasingSink releases each arriving packet back into the arena after
+// recording it — the endpoint contract arena-backed receivers follow.
+type releasingSink struct {
+	a     *Arena
+	count int
+}
+
+func (s *releasingSink) Deliver(p *Packet) {
+	if !HandleOf(p).Valid() {
+		panic("delivered packet is not live")
+	}
+	s.count++
+	s.a.Release(p)
+}
+
+// TestLinkOwnershipDupIsDistinctPacket pins the dup-fault ownership rule:
+// the duplicate is a distinct arena packet, never a second delivery of the
+// same pointer. Under the old aliasing behavior both deliveries would carry
+// one *Packet, and the receiver's second Release would blow the refcount.
+func TestLinkOwnershipDupIsDistinctPacket(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a := NewArena()
+	var got []*Packet
+	l := NewLink(eng, "dup", 100_000_000, 10*sim.Microsecond, EndpointFunc(func(p *Packet) {
+		got = append(got, p)
+	}))
+	l.SetArena(a)
+	l.Faults = faults.New(5, faults.Spec{Dup: 1}).Link("dup")
+
+	p := a.Get()
+	p.Size, p.Flow = 1500, 3
+	l.Send(p)
+	eng.Run()
+
+	if len(got) != 2 {
+		t.Fatalf("delivered %d packets, want original + duplicate", len(got))
+	}
+	if got[0] == got[1] {
+		t.Fatal("duplicate aliases the original packet")
+	}
+	for i, q := range got {
+		if !HandleOf(q).Valid() {
+			t.Fatalf("delivery %d is not a live packet", i)
+		}
+		if q.Flow != 3 || q.Size != 1500 {
+			t.Fatalf("delivery %d lost its fields: %+v", i, q)
+		}
+		a.Release(q)
+	}
+	if l.Duplicated != 1 {
+		t.Fatalf("Duplicated = %d, want 1", l.Duplicated)
+	}
+	if a.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", a.Live())
+	}
+}
+
+// TestLinkOwnershipReleaseOnDrop pins the drop-side ownership rule: both
+// queue-limit tail drops and injected losses release the consumed packet
+// back to the arena. Under the old behavior dropped packets leaked (or
+// worse, stayed referenced by the caller), which Live() exposes.
+func TestLinkOwnershipReleaseOnDrop(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a := NewArena()
+	sink := &releasingSink{a: a}
+
+	// Queue-limit drop.
+	l := NewLink(eng, "tail", 100_000_000, 0, sink)
+	l.SetArena(a)
+	l.MaxQueue = 1
+	first := a.Get()
+	first.Size = 1500
+	dropped := a.Get()
+	dropped.Size = 1500
+	h := HandleOf(dropped)
+	l.Send(first)
+	if l.Send(dropped) {
+		t.Fatal("second send should hit the queue limit")
+	}
+	if h.Valid() {
+		t.Fatal("tail-dropped packet was not released")
+	}
+
+	// Injected loss.
+	lossy := NewLink(eng, "lossy", 100_000_000, 0, sink)
+	lossy.SetArena(a)
+	lossy.Faults = faults.New(9, faults.Spec{Drop: 1}).Link("lossy")
+	lost := a.Get()
+	lost.Size = 1500
+	hl := HandleOf(lost)
+	if !lossy.Send(lost) {
+		t.Fatal("an injected loss still reports the packet as sent")
+	}
+	if hl.Valid() {
+		t.Fatal("lost packet was not released")
+	}
+	eng.Run()
+
+	if sink.count != 1 {
+		t.Fatalf("delivered %d, want only the first packet", sink.count)
+	}
+	if l.Dropped != 1 || lossy.Lost != 1 {
+		t.Fatalf("Dropped = %d, Lost = %d", l.Dropped, lossy.Lost)
+	}
+	if a.Live() != 0 {
+		t.Fatalf("Live = %d, want 0 after drain", a.Live())
+	}
+}
+
+// TestLinkOwnershipFaultStream soaks the full fault matrix — loss, dup,
+// reorder, tail drop — over many arena packets and checks the books
+// balance: every delivery is a live packet, deliveries = sent - lost +
+// duplicated, and the arena drains to zero afterward.
+func TestLinkOwnershipFaultStream(t *testing.T) {
+	for _, seed := range []uint64{2, 11, 404} {
+		eng := sim.NewEngine(seed)
+		a := NewArena()
+		sink := &releasingSink{a: a}
+		l := NewLink(eng, "soak", 100_000_000, 20*sim.Microsecond, sink)
+		l.SetArena(a)
+		l.MaxQueue = 8
+		l.Faults = faults.New(seed, faults.Spec{
+			Drop: 0.2, Dup: 0.3, Reorder: 0.2, ReorderMax: 200 * sim.Microsecond,
+		}).Link("soak")
+
+		const n = 500
+		for i := 0; i < n; i++ {
+			p := a.Get()
+			p.Size, p.Seq = 1500, int64(i)
+			l.Send(p)
+			// Drain in bursts so the queue limit engages sometimes.
+			if i%16 == 15 {
+				eng.Run()
+			}
+		}
+		eng.Run()
+
+		if l.Lost == 0 || l.Duplicated == 0 || l.Reordered == 0 || l.Dropped == 0 {
+			t.Fatalf("seed %d: fault matrix not exercised: lost=%d dup=%d reord=%d dropped=%d",
+				seed, l.Lost, l.Duplicated, l.Reordered, l.Dropped)
+		}
+		want := int(l.Sent - l.Lost + l.Duplicated)
+		if sink.count != want {
+			t.Fatalf("seed %d: delivered %d, want sent-lost+dup = %d", seed, sink.count, want)
+		}
+		if a.Live() != 0 {
+			t.Fatalf("seed %d: Live = %d after drain", seed, a.Live())
+		}
+	}
+}

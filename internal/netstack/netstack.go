@@ -58,6 +58,17 @@ type Packet struct {
 	Payload  int   // payload bytes
 	SentAt   sim.Time
 	Info     any // protocol-private data
+
+	// Mark flags the last packet of a paced response train (protocol
+	// bookkeeping that used to ride in Info as an interface box; a value
+	// field keeps the hot path allocation-free).
+	Mark bool
+
+	// Arena bookkeeping (see arena.go). Zero for literal packets.
+	pooled bool
+	ref    int32
+	gen    uint32
+	next   *Packet
 }
 
 // Endpoint receives packets: a host's input path or the next hop.
@@ -125,6 +136,19 @@ type Link struct {
 	queued     int
 	arrivalSeq uint64 // per-conduit send counter, drawn at transmit time
 
+	// arena, when set, is the pool consumed packets return to (drops) and
+	// dup clones come from. Nil keeps literal-packet behavior.
+	arena *Arena
+
+	// Pooled delivery records and precomputed labels keep the per-packet
+	// send path allocation-free: each in-flight delivery borrows a record
+	// whose closure was bound once, and recycles it when it fires.
+	freeDel  *delivery
+	relFn    func() // bound once: the sender-side serialization-slot release
+	label    string // "link:<name>"
+	labLost  string
+	labDup   string
+
 	// Counters.
 	Sent    int64
 	Dropped int64
@@ -147,7 +171,54 @@ func NewLink(eng *sim.Engine, name string, bps int64, delay sim.Time, dst Endpoi
 	if dst == nil {
 		panic("netstack: link needs a destination")
 	}
-	return &Link{Name: name, eng: eng, bps: bps, delay: delay, dst: dst, ArrivalConduit: -1}
+	l := &Link{Name: name, eng: eng, bps: bps, delay: delay, dst: dst, ArrivalConduit: -1}
+	l.label = "link:" + name
+	l.labLost = l.label + ":lost"
+	l.labDup = l.label + ":dup"
+	l.relFn = func() { l.queued-- }
+	return l
+}
+
+// SetArena attaches a packet arena: drops release into it and dup faults
+// clone from it. Topologies wire the link's engine-local arena here.
+func (l *Link) SetArena(a *Arena) { l.arena = a }
+
+// delivery is one in-flight packet arrival: a pooled record whose run
+// closure was bound at creation, so scheduling an arrival allocates
+// nothing. A record is busy from scheduling until its event fires, then
+// recycles itself before delivering (safe: delivery can trigger nested
+// sends on other links, never a synchronous reuse of this record's
+// pending event).
+type delivery struct {
+	l       *Link
+	p       *Packet
+	release bool
+	next    *delivery
+	fn      func()
+}
+
+func (l *Link) getDelivery(p *Packet, release bool) *delivery {
+	d := l.freeDel
+	if d == nil {
+		d = &delivery{l: l}
+		d.fn = d.run
+	} else {
+		l.freeDel = d.next
+	}
+	d.p = p
+	d.release = release
+	return d
+}
+
+func (d *delivery) run() {
+	l, p, rel := d.l, d.p, d.release
+	d.p = nil
+	d.next = l.freeDel
+	l.freeDel = d
+	if rel {
+		l.queued--
+	}
+	l.dst.Deliver(p)
 }
 
 // RegisterMetrics exposes the link's counters on a telemetry registry
@@ -178,11 +249,14 @@ func (l *Link) TxTime(n int) sim.Time {
 // QueueLen returns the number of packets currently queued or serializing.
 func (l *Link) QueueLen() int { return l.queued }
 
-// Send enqueues p for transmission. It returns false if the queue limit
-// dropped the packet.
+// Send enqueues p for transmission, consuming it: ownership passes to
+// the link, which releases the packet on any drop and otherwise hands it
+// to the destination endpoint at arrival time. It returns false if the
+// queue limit dropped the packet.
 func (l *Link) Send(p *Packet) bool {
 	if l.MaxQueue > 0 && l.queued >= l.MaxQueue {
 		l.Dropped++
+		l.arena.Release(p)
 		return false
 	}
 	now := l.eng.Now()
@@ -202,9 +276,11 @@ func (l *Link) Send(p *Packet) bool {
 		// Draw order is fixed (drop, then duplicate, then reorder) so a
 		// link's fault sequence depends only on its own packet order.
 		if l.Faults.Drop() {
-			// The packet consumed wire time but never arrives.
+			// The packet consumed wire time but never arrives; the slot
+			// still frees when serialization would have finished.
 			l.Lost++
-			l.eng.AtLabeled(done, "link:"+l.Name+":lost", func() { l.queued-- })
+			l.eng.AtLabeled(done, l.labLost, l.relFn)
+			l.arena.Release(p)
 			return true
 		}
 		dup := l.Faults.Duplicate()
@@ -212,17 +288,18 @@ func (l *Link) Send(p *Packet) bool {
 		if extra > 0 {
 			l.Reordered++
 		}
-		l.deliver(p, done+l.delay+extra, "link:"+l.Name, true)
+		l.deliver(p, done+l.delay+extra, l.label, true)
 		if dup {
 			// The copy takes the undelayed path, arriving with (or ahead
-			// of) the original.
+			// of) the original. It is a distinct packet — cloned through
+			// the arena, never a struct copy that would alias pool state —
+			// and the receiver releases it like any other arrival.
 			l.Duplicated++
-			cp := *p
-			l.deliver(&cp, done+l.delay, "link:"+l.Name+":dup", false)
+			l.deliver(l.arena.Clone(p), done+l.delay, l.labDup, false)
 		}
 		return true
 	}
-	l.deliver(p, done+l.delay, "link:"+l.Name, true)
+	l.deliver(p, done+l.delay, l.label, true)
 	return true
 }
 
@@ -242,21 +319,16 @@ func (l *Link) deliver(p *Packet, at sim.Time, label string, release bool) {
 		l.arrivalSeq++
 		seq := l.arrivalSeq
 		if l.Courier == nil || !l.Courier.Ship(p, at, l.ArrivalConduit, seq) {
-			l.eng.AtArrival(at, l.ArrivalConduit, seq, label, func() { l.dst.Deliver(p) })
+			d := l.getDelivery(p, false)
+			l.eng.AtArrival(at, l.ArrivalConduit, seq, label, d.fn)
 		}
 		if release {
-			l.eng.AtLabeled(at, label, func() { l.queued-- })
+			l.eng.AtLabeled(at, label, l.relFn)
 		}
 		return
 	}
-	if release {
-		l.eng.AtLabeled(at, label, func() {
-			l.queued--
-			l.dst.Deliver(p)
-		})
-	} else {
-		l.eng.AtLabeled(at, label, func() { l.dst.Deliver(p) })
-	}
+	d := l.getDelivery(p, release)
+	l.eng.AtLabeled(at, label, d.fn)
 }
 
 // Deliver implements Endpoint so links can be chained into paths: a packet

@@ -117,7 +117,14 @@ type NIC struct {
 	wire *netstack.Link // optional: models the attached wire's tx serialization
 
 	// RxHandler receives each inbound packet, in kernel protocol context.
+	// The packet is a borrow: it is released back to the arena when the
+	// handler returns. A handler that needs it afterwards (e.g. a router
+	// forwarding it out another interface) must Retain it first.
 	RxHandler func(p *netstack.Packet)
+
+	// arena, when set, is where received packets are released after their
+	// handler runs (and on ring-fault drops).
+	arena *netstack.Arena
 
 	rxring  []*netstack.Packet // arrived, not yet taken by intr/poll
 	protoq  []*netstack.Packet // taken by interrupts, awaiting softirq
@@ -127,6 +134,14 @@ type NIC struct {
 	pollEv  *core.Event
 	pollIvl sim.Time
 	foundAv float64 // EWMA of packets found per poll
+
+	// Pre-bound hot-path closures and pooled chains (see Chain in package
+	// kernel): scheduling receive drains, protocol batches and transmit
+	// softirqs allocates nothing in steady state.
+	rxDrainFn func()
+	pollFn    func(now sim.Time) sim.Time
+	proto     protoChain
+	txFree    *txChain
 
 	// Counters.
 	RxPackets, TxPackets int64
@@ -162,9 +177,19 @@ func New(k *kernel.Kernel, f *core.Facility, cfg Config, out netstack.Endpoint) 
 		panic("nic: SoftPoll mode requires a soft-timer facility")
 	}
 	n := &NIC{k: k, f: f, cfg: cfg, out: out, pollIvl: cfg.MinPoll * 4}
+	n.proto.n = n
+	n.rxDrainFn = n.rxDrain
+	n.pollFn = n.poll
 	n.registerMetrics()
 	return n
 }
+
+// SetArena attaches the packet arena received packets release into.
+func (n *NIC) SetArena(a *netstack.Arena) { n.arena = a }
+
+// Arena returns the attached packet arena (nil when unwired), for layers
+// above that acquire the packets this interface transmits.
+func (n *NIC) Arena() *netstack.Arena { return n.arena }
 
 // registerMetrics joins the kernel's telemetry registry under the
 // nic.<name>. prefix. Unnamed NICs share the bare "nic." namespace — the
@@ -206,6 +231,7 @@ func (n *NIC) PollInterval() sim.Time { return n.pollIvl }
 func (n *NIC) Deliver(p *netstack.Packet) {
 	if n.cfg.Faults.Drop() {
 		n.RxDropped++
+		n.arena.Release(p)
 		return
 	}
 	n.RxPackets++
@@ -231,56 +257,129 @@ func (n *NIC) raiseRxInterrupt() {
 	}
 	n.intrUp = true
 	n.RxInterrupts++
-	n.k.RaiseInterrupt(kernel.SrcIPIntr, n.cfg.Costs.RxIntrWork, func() {
-		n.intrUp = false
-		n.protoq = append(n.protoq, n.rxring...)
-		n.rxring = n.rxring[:0]
-		n.postProtoSoftirq()
-	})
+	n.k.RaiseInterrupt(kernel.SrcIPIntr, n.cfg.Costs.RxIntrWork, n.rxDrainFn)
+}
+
+// rxDrain is the receive interrupt's handler body (bound once): move the
+// ring's packets to the protocol queue and post the protocol softirq.
+func (n *NIC) rxDrain() {
+	n.intrUp = false
+	n.protoq = append(n.protoq, n.rxring...)
+	for i := range n.rxring {
+		n.rxring[i] = nil
+	}
+	n.rxring = n.rxring[:0]
+	n.postProtoSoftirq()
 }
 
 // postProtoSoftirq posts the protocol-input software interrupt draining
 // protoq, one chain step per packet plus a tail step whose completion is a
-// tcpip-other trigger state. The chain is built when the softirq runs, so
-// packets enqueued by interrupts in the meantime join the same batch —
-// protocol processing aggregates under load while interrupts stay
-// per-packet, matching Table 2's ip-intr ≫ tcpip-other ratio.
+// tcpip-other trigger state. The batch is taken when the softirq runs
+// (protoChain.Begin), so packets enqueued by interrupts in the meantime
+// join the same batch — protocol processing aggregates under load while
+// interrupts stay per-packet, matching Table 2's ip-intr ≫ tcpip-other
+// ratio.
 func (n *NIC) postProtoSoftirq() {
 	if n.soft || len(n.protoq) == 0 {
 		return
 	}
 	n.soft = true
-	n.k.PostSoftIRQBuilder(func() []kernel.ChainStep {
-		batch := n.protoq
-		n.protoq = nil
-		n.soft = false
-		n.mBatch.Observe(float64(len(batch)))
-		proto := make([]kernel.ChainStep, 0, len(batch)+1)
-		for i, p := range batch {
-			p := p
-			w := n.cfg.Costs.RxProtoWork
-			if i > 0 {
-				w = sim.Time(float64(w) * (1 - n.cfg.Costs.RxBatchDiscount))
-			}
-			proto = append(proto, kernel.ChainStep{Work: w, Src: kernel.SrcNone, Fn: func() {
-				if n.RxHandler != nil {
-					n.RxHandler(p)
-				}
-			}})
-		}
-		tailSrc := kernel.SrcNone
-		n.batches++
-		if e := n.cfg.Costs.SoftirqTailTriggerEvery; e > 0 && n.batches%int64(e) == 0 {
-			tailSrc = kernel.SrcTCPIPOther
-		}
-		proto = append(proto, kernel.ChainStep{Work: n.cfg.Costs.SoftirqTail, Src: tailSrc})
-		return proto
-	})
+	n.k.PostSoftIRQChain(&n.proto, 0)
+}
+
+// protoChain is the protocol-input batch as a kernel.Chain: steps 0..len-1
+// process one received packet each (with the batch-locality discount past
+// the first), and the final step is the softirq tail. One instance is
+// embedded per NIC — the n.soft guard ensures a single outstanding post,
+// and batches double-buffer between the chain and the protocol queue so
+// steady state reuses two backing arrays forever.
+type protoChain struct {
+	n       *NIC
+	batch   []*netstack.Packet
+	tailSrc kernel.Source
+}
+
+func (c *protoChain) Begin() int {
+	n := c.n
+	c.batch, n.protoq = n.protoq, c.batch[:0]
+	n.soft = false
+	n.mBatch.Observe(float64(len(c.batch)))
+	c.tailSrc = kernel.SrcNone
+	n.batches++
+	if e := n.cfg.Costs.SoftirqTailTriggerEvery; e > 0 && n.batches%int64(e) == 0 {
+		c.tailSrc = kernel.SrcTCPIPOther
+	}
+	return len(c.batch) + 1
+}
+
+func (c *protoChain) Step(i int) (sim.Time, kernel.Source) {
+	if i >= len(c.batch) {
+		return c.n.cfg.Costs.SoftirqTail, c.tailSrc
+	}
+	w := c.n.cfg.Costs.RxProtoWork
+	if i > 0 {
+		w = sim.Time(float64(w) * (1 - c.n.cfg.Costs.RxBatchDiscount))
+	}
+	return w, kernel.SrcNone
+}
+
+func (c *protoChain) Run(i int) {
+	if i >= len(c.batch) {
+		return // tail step: bookkeeping only
+	}
+	n := c.n
+	p := c.batch[i]
+	c.batch[i] = nil
+	if n.RxHandler != nil {
+		n.RxHandler(p)
+	}
+	n.arena.Release(p)
+}
+
+func (c *protoChain) End() { c.batch = c.batch[:0] }
+
+// txChain is one posted transmit softirq as a kernel.Chain: one ip-output
+// trigger state per packet. Chains pool on the NIC free list — each post
+// gets its own instance (several can be pending at once), so softirq
+// boundaries and entry costs stay exactly those of the slice-based form.
+type txChain struct {
+	n    *NIC
+	pkts []*netstack.Packet
+	next *txChain
+}
+
+func (n *NIC) getTxChain() *txChain {
+	c := n.txFree
+	if c == nil {
+		return &txChain{n: n}
+	}
+	n.txFree = c.next
+	c.next = nil
+	return c
+}
+
+func (c *txChain) Begin() int { return len(c.pkts) }
+
+func (c *txChain) Step(int) (sim.Time, kernel.Source) {
+	return c.n.cfg.Costs.TxWork, kernel.SrcIPOutput
+}
+
+func (c *txChain) Run(i int) {
+	p := c.pkts[i]
+	c.pkts[i] = nil
+	c.n.transmit(p)
+}
+
+func (c *txChain) End() {
+	c.pkts = c.pkts[:0]
+	c.next = c.n.txFree
+	c.n.txFree = c
 }
 
 // TxSteps builds the kernel chain transmitting pkts: one ip-output trigger
 // state per packet, as in the paper's instrumented TCP/IP output loop. Use
-// from process context via Proc.Chain or post as a softirq.
+// from process context via Proc.Chain or post as a softirq. (TxChainOf is
+// the allocation-free equivalent for hot paths.)
 func (n *NIC) TxSteps(pkts ...*netstack.Packet) []kernel.ChainStep {
 	steps := make([]kernel.ChainStep, 0, len(pkts))
 	for _, p := range pkts {
@@ -292,13 +391,24 @@ func (n *NIC) TxSteps(pkts ...*netstack.Packet) []kernel.ChainStep {
 	return steps
 }
 
+// TxChainOf takes a pooled transmit chain loaded with pkts, for use with
+// Proc.ChainC (syscall-context transmission). The chain recycles itself
+// when it completes.
+func (n *NIC) TxChainOf(pkts ...*netstack.Packet) kernel.Chain {
+	c := n.getTxChain()
+	c.pkts = append(c.pkts, pkts...)
+	return c
+}
+
 // TxFromKernel transmits pkts from interrupt/protocol context by posting a
 // transmit softirq (e.g. ACKs generated during receive processing).
 func (n *NIC) TxFromKernel(pkts ...*netstack.Packet) {
 	if len(pkts) == 0 {
 		return
 	}
-	n.k.PostSoftIRQ(n.TxSteps(pkts...)...)
+	c := n.getTxChain()
+	c.pkts = append(c.pkts, pkts...)
+	n.k.PostSoftIRQChain(c, len(c.pkts))
 }
 
 // TransmitNow sends one packet immediately, charging no kernel chain —
@@ -336,30 +446,38 @@ func (n *NIC) transmit(p *netstack.Packet) {
 
 // schedulePoll arms the next soft-timer poll event.
 func (n *NIC) schedulePoll() {
-	n.pollEv = n.f.ScheduleAfter(n.pollIvl, n.poll)
+	n.pollEv = n.f.ScheduleAfter(n.pollIvl, n.pollFn)
 }
 
 // poll is the soft-timer polling handler: drain receive ring and transmit
-// completions, process them inline, adapt the interval, re-arm.
+// completions, process them inline, adapt the interval, re-arm. The two
+// queues are walked in place (protocol queue first, then the ring — the
+// order the combined batch always had) and reset, so polling reuses their
+// backing arrays.
 func (n *NIC) poll(now sim.Time) sim.Time {
 	n.Polls++
 	cost := n.cfg.Costs.PollWork
 	found := len(n.rxring) + len(n.protoq)
-	batch := append(n.protoq, n.rxring...)
-	n.protoq = nil
-	n.rxring = n.rxring[:0]
-	for i, p := range batch {
-		w := n.cfg.Costs.RxProtoWork
-		if i > 0 {
-			w = sim.Time(float64(w) * (1 - n.cfg.Costs.RxBatchDiscount))
-		}
-		cost += w
-		if n.RxHandler != nil {
-			n.RxHandler(p)
+	i := 0
+	for _, q := range [2][]*netstack.Packet{n.protoq, n.rxring} {
+		for j, p := range q {
+			q[j] = nil
+			w := n.cfg.Costs.RxProtoWork
+			if i > 0 {
+				w = sim.Time(float64(w) * (1 - n.cfg.Costs.RxBatchDiscount))
+			}
+			i++
+			cost += w
+			if n.RxHandler != nil {
+				n.RxHandler(p)
+			}
+			n.arena.Release(p)
 		}
 	}
-	n.PolledPackets += int64(len(batch))
-	n.mBatch.Observe(float64(len(batch)))
+	n.protoq = n.protoq[:0]
+	n.rxring = n.rxring[:0]
+	n.PolledPackets += int64(found)
+	n.mBatch.Observe(float64(found))
 	if n.txdone > 0 {
 		cost += n.cfg.Costs.TxComplWork * sim.Time(n.txdone)
 		n.txdone = 0

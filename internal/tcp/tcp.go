@@ -35,7 +35,9 @@ type Env interface {
 	Now() sim.Time
 	// After schedules a conventional protocol timer.
 	After(d sim.Time, fn func()) Canceler
-	// Transmit hands packets to the host's IP output path in order.
+	// Transmit hands packets to the host's IP output path in order. The
+	// slice is a borrow: implementations must not retain it past the call
+	// (senders reuse scratch buffers on the hot path).
 	Transmit(pkts []*netstack.Packet)
 }
 
@@ -113,6 +115,14 @@ type Sender struct {
 	// smooth, when non-nil, spreads post-big-ACK bursts at the measured
 	// ACK arrival rate (EnableBurstSmoothing; Appendix A.1).
 	smooth *burstSmoother
+
+	// Arena, when set, is the packet pool segments are acquired from
+	// (zero-allocation segment construction); nil falls back to literals.
+	// Hosts wire their engine-local arena here.
+	Arena *netstack.Arena
+
+	burst []*netstack.Packet // scratch transmit buffer, reused per pump
+	one   [1]*netstack.Packet
 }
 
 // NewSender creates a sender of total segments on flow. paced selects
@@ -170,25 +180,28 @@ func (s *Sender) inflight() int64 { return s.nextSeq - s.ackedTo }
 
 // pump transmits every currently-eligible segment (self-clocked mode).
 func (s *Sender) pump() {
-	var burst []*netstack.Packet
+	s.burst = s.burst[:0]
 	for s.nextSeq < s.total &&
 		float64(s.inflight())+1 <= s.cwnd &&
 		s.inflight() < s.cfg.RcvWnd {
-		burst = append(burst, s.makeSegment())
+		s.burst = append(s.burst, s.makeSegment())
 	}
-	s.send(burst)
+	s.send(s.burst)
+	for i := range s.burst {
+		s.burst[i] = nil
+	}
+	s.burst = s.burst[:0]
 }
 
 func (s *Sender) makeSegment() *netstack.Packet {
 	payload := s.cfg.MSS
-	p := &netstack.Packet{
-		Flow:    s.flow,
-		Kind:    netstack.Data,
-		Seq:     s.nextSeq,
-		Size:    s.cfg.WireSize(payload),
-		Payload: payload,
-		SentAt:  s.env.Now(),
-	}
+	p := s.Arena.Get()
+	p.Flow = s.flow
+	p.Kind = netstack.Data
+	p.Seq = s.nextSeq
+	p.Size = s.cfg.WireSize(payload)
+	p.Payload = payload
+	p.SentAt = s.env.Now()
 	s.nextSeq++
 	s.SegmentsSent++
 	return p
@@ -284,7 +297,9 @@ func (s *Sender) PacedSendOne(now sim.Time) (sent *netstack.Packet, more bool) {
 		return nil, false
 	}
 	p := s.makeSegment()
-	s.send([]*netstack.Packet{p})
+	s.one[0] = p
+	s.send(s.one[:])
+	s.one[0] = nil
 	return p, s.nextSeq < s.total
 }
 
@@ -316,6 +331,11 @@ type Receiver struct {
 	BigAcks int64
 	// DelAckFires counts ACKs produced by the delayed-ACK timer.
 	DelAckFires int64
+
+	// Arena, when set, supplies ACK packets (see Sender.Arena).
+	Arena *netstack.Arena
+
+	one [1]*netstack.Packet // scratch transmit buffer
 }
 
 // NewReceiver creates a receiver for flow.
@@ -371,11 +391,13 @@ func (r *Receiver) sendAck(fromTimer bool) {
 	if covered > 3 {
 		r.BigAcks++
 	}
-	r.env.Transmit([]*netstack.Packet{{
-		Flow:   r.flow,
-		Kind:   netstack.Ack,
-		AckSeq: r.ackedTo,
-		Size:   r.cfg.WireSize(0),
-		SentAt: r.env.Now(),
-	}})
+	p := r.Arena.Get()
+	p.Flow = r.flow
+	p.Kind = netstack.Ack
+	p.AckSeq = r.ackedTo
+	p.Size = r.cfg.WireSize(0)
+	p.SentAt = r.env.Now()
+	r.one[0] = p
+	r.env.Transmit(r.one[:])
+	r.one[0] = nil
 }

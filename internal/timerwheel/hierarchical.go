@@ -19,6 +19,7 @@ type Hierarchical struct {
 	earliest Tick
 	dirty    bool
 	advGen   uint64
+	free     *Timer // pooled-node free list (ScheduleFree), linked via next
 }
 
 const (
@@ -71,6 +72,27 @@ func (h *Hierarchical) Schedule(deadline Tick, fn Handler) *Timer {
 		h.dirty = false
 	}
 	return t
+}
+
+// ScheduleFree implements Queue.
+func (h *Hierarchical) ScheduleFree(deadline Tick, fn Handler) {
+	if fn == nil {
+		panic("timerwheel: schedule of nil handler")
+	}
+	t := h.free
+	if t == nil {
+		t = &Timer{}
+	} else {
+		h.free = t.next
+		t.next = nil
+	}
+	t.deadline, t.fn, t.own, t.gen, t.pooled = deadline, fn, h, h.advGen, true
+	h.place(t)
+	h.n++
+	if deadline < h.earliest {
+		h.earliest = deadline
+		h.dirty = false
+	}
 }
 
 // Len implements Queue.
@@ -187,7 +209,15 @@ func (h *Hierarchical) fireSlot(s *slot, now Tick) int {
 				h.dirty = true
 			}
 			fired++
-			t.fn(now)
+			// Recycle pooled nodes before running the handler, so a
+			// handler that immediately reschedules reuses this node.
+			fn := t.fn
+			if t.pooled {
+				t.fn, t.own = nil, nil
+				t.next = h.free
+				h.free = t
+			}
+			fn(now)
 		}
 		t = next
 	}

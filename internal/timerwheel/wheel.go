@@ -28,6 +28,11 @@ type Queue interface {
 	// Schedule registers fn to fire once Advance reaches deadline.
 	// Deadlines at or before the current tick fire on the next Advance.
 	Schedule(deadline Tick, fn Handler) *Timer
+	// ScheduleFree is Schedule for callers that keep no handle: the timer
+	// node comes from a per-queue pool and recycles the moment it fires,
+	// so steady-state rearm loops schedule without allocating. There is
+	// nothing to cancel — the node may already belong to a later timer.
+	ScheduleFree(deadline Tick, fn Handler)
 	// Advance moves the current tick to now and fires, in an unspecified
 	// order among themselves, all timers with deadline <= now. It returns
 	// the number fired. now must not decrease across calls.
@@ -52,6 +57,7 @@ type Timer struct {
 	slot       *slot  // nil when fired, canceled, or never scheduled
 	own        owner  // queue the timer is scheduled in
 	gen        uint64 // Advance generation this timer was scheduled in, if any
+	pooled     bool   // ScheduleFree node: recycles into the queue pool on fire
 }
 
 // Deadline returns the tick the timer was scheduled for.
@@ -113,6 +119,7 @@ type Wheel struct {
 	earliest Tick   // lower bound on the earliest pending deadline
 	dirty    bool   // earliest needs recomputation
 	advGen   uint64 // generation counter, incremented at each Advance
+	free     *Timer // pooled-node free list (ScheduleFree), linked via next
 }
 
 // New returns a hashed wheel with nslots slots (rounded up to a power of
@@ -140,6 +147,27 @@ func (w *Wheel) Schedule(deadline Tick, fn Handler) *Timer {
 		w.dirty = false
 	}
 	return t
+}
+
+// ScheduleFree implements Queue.
+func (w *Wheel) ScheduleFree(deadline Tick, fn Handler) {
+	if fn == nil {
+		panic("timerwheel: schedule of nil handler")
+	}
+	t := w.free
+	if t == nil {
+		t = &Timer{}
+	} else {
+		w.free = t.next
+		t.next = nil
+	}
+	t.deadline, t.fn, t.own, t.gen, t.pooled = deadline, fn, w, w.advGen, true
+	w.slots[deadline&w.mask].push(t)
+	w.n++
+	if deadline < w.earliest {
+		w.earliest = deadline
+		w.dirty = false
+	}
 }
 
 // Len implements Queue.
@@ -251,7 +279,15 @@ func (w *Wheel) fireSlot(s *slot, now Tick) int {
 				w.dirty = true
 			}
 			fired++
-			t.fn(now)
+			// Recycle pooled nodes before running the handler, so a
+			// handler that immediately reschedules reuses this node.
+			fn := t.fn
+			if t.pooled {
+				t.fn, t.own = nil, nil
+				t.next = w.free
+				w.free = t
+			}
+			fn(now)
 		}
 		t = next
 	}

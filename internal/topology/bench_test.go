@@ -10,39 +10,112 @@ import (
 	"softtimers/internal/sim"
 )
 
-// BenchmarkTestbedPacket measures the real-time cost of one packet through
-// the two-host path: a's transmit softirq → down link → switch forward →
-// up link → b's NIC ring → receive interrupt → handler. Both kernels halt
-// when idle so the engine only runs packet-path events; pkts/sec is the
-// simulator's packet-forwarding capacity on one core.
-func BenchmarkTestbedPacket(b *testing.B) {
-	eng := sim.NewEngine(1)
-	top := New(eng)
+// twoHostPath assembles the benchmark topology: two idle-halting hosts on
+// one switch. Returns the source host, its arena, the destination address,
+// and a delivered-count pointer bumped by the receiver.
+func twoHostPath() (*Topology, *host.Host, *netstack.Arena, netstack.Addr, *int) {
+	top := New(sim.NewEngine(1))
 	a := top.AddHost(host.Config{Name: "a", Kernel: kernel.Options{}})
 	dst := top.AddHost(host.Config{Name: "b", Kernel: kernel.Options{}})
 	sw := top.AddSwitch("s0")
 	top.Join(sw, a, nic.Config{Name: "eth0"}, WireSpec{})
 	pb := top.Join(sw, dst, nic.Config{Name: "eth0"}, WireSpec{})
-	delivered := 0
-	pb.NIC.RxHandler = func(*netstack.Packet) { delivered++ }
+	delivered := new(int)
+	// Handlers borrow the packet; the NIC releases it after the call.
+	pb.NIC.RxHandler = func(*netstack.Packet) { *delivered++ }
 	top.Start()
-	src, to := top.Addr("a"), top.Addr("b")
+	return top, a, top.Arena(0), top.Addr("b"), delivered
+}
+
+// BenchmarkTestbedPacket measures the real-time cost of one packet through
+// the two-host path: a's transmit softirq → down link → switch forward →
+// up link → b's NIC ring → receive interrupt → handler. Both kernels halt
+// when idle so the engine only runs packet-path events; pkts/sec is the
+// simulator's packet-forwarding capacity on one core. Packets come from
+// the topology arena, so the steady-state path allocates nothing — the
+// allocs/op regression guard in `make bench` holds this at 0.
+func BenchmarkTestbedPacket(b *testing.B) {
+	top, a, arena, to, delivered := twoHostPath()
+	eng := top.Eng
+	src := top.Addr("a")
 
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a.NIC().TxFromKernel(&netstack.Packet{
-			Flow: i, Src: src, Dst: to, Kind: netstack.Data, Size: 1500,
-		})
-		for delivered <= i {
+		p := arena.Get()
+		p.Flow, p.Src, p.Dst, p.Kind, p.Size = i, src, to, netstack.Data, 1500
+		a.NIC().TxFromKernel(p)
+		for *delivered <= i {
 			if !eng.Step() {
 				b.Fatal("engine drained before the packet was delivered")
 			}
 		}
 	}
 	b.StopTimer()
-	if delivered != b.N {
-		b.Fatalf("delivered %d of %d packets", delivered, b.N)
+	if *delivered != b.N {
+		b.Fatalf("delivered %d of %d packets", *delivered, b.N)
+	}
+	if live := arena.Live(); live != 0 {
+		b.Fatalf("%d packets leaked from the arena", live)
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/sec")
+}
+
+// TestTestbedPacketZeroAlloc pins the tentpole claim directly: after
+// warmup, pushing a packet through the full two-host path — kernel
+// transmit chain, both links, the switch, the receive ring and interrupt —
+// allocates nothing.
+func TestTestbedPacketZeroAlloc(t *testing.T) {
+	top, a, arena, to, delivered := twoHostPath()
+	eng := top.Eng
+	src := top.Addr("a")
+	flow := 0
+	shot := func() {
+		p := arena.Get()
+		p.Flow, p.Src, p.Dst, p.Kind, p.Size = flow, src, to, netstack.Data, 1500
+		flow++
+		a.NIC().TxFromKernel(p)
+		for *delivered < flow {
+			if !eng.Step() {
+				t.Fatal("engine drained before the packet was delivered")
+			}
+		}
+	}
+	// Warm every pool on the path (event free lists, delivery records,
+	// chain buffers, the arena itself), then demand zero.
+	for i := 0; i < 64; i++ {
+		shot()
+	}
+	if n := testing.AllocsPerRun(100, shot); n != 0 {
+		t.Fatalf("packet hot path allocates %.1f times per packet, want 0", n)
+	}
+	if live := arena.Live(); live != 0 {
+		t.Fatalf("%d packets leaked from the arena", live)
+	}
+}
+
+// BenchmarkSwitchForward isolates the cut-through forwarding step: one
+// address lookup and endpoint delivery, no links or hosts. This is the
+// per-hop cost a hierarchical fabric pays at each leaf and at the spine.
+func BenchmarkSwitchForward(b *testing.B) {
+	top := New(sim.NewEngine(1))
+	sw := top.AddSwitch("s0")
+	arena := top.Arena(0)
+	sink := netstack.EndpointFunc(func(p *netstack.Packet) { arena.Release(p) })
+	const fanout = 64
+	for i := 0; i < fanout; i++ {
+		sw.Connect(netstack.Addr(i+1), sink)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := arena.Get()
+		p.Flow, p.Dst, p.Kind, p.Size = i, netstack.Addr(i%fanout+1), netstack.Data, 1500
+		sw.Deliver(p)
+	}
+	b.StopTimer()
+	if live := arena.Live(); live != 0 {
+		b.Fatalf("%d packets leaked from the arena", live)
+	}
 }

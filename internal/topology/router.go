@@ -47,7 +47,10 @@ func (r *Router) Route(dst netstack.Addr, out *nic.NIC) {
 
 // forward runs in the router kernel's protocol context: look up the egress
 // interface and retransmit through its kernel path (charged to the
-// router's CPU as a transmit softirq).
+// router's CPU as a transmit softirq). Receive handlers borrow their
+// packet — the NIC releases it when the handler returns — so the router
+// takes its own reference for the queued transmission; the egress link
+// consumes it.
 func (r *Router) forward(p *netstack.Packet) {
 	out, ok := r.routes[p.Dst]
 	if !ok {
@@ -55,5 +58,5 @@ func (r *Router) forward(p *netstack.Packet) {
 		return
 	}
 	r.Forwarded++
-	out.TxFromKernel(p)
+	out.TxFromKernel(p.Retain())
 }

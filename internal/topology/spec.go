@@ -1,6 +1,8 @@
 package topology
 
 import (
+	"fmt"
+
 	"softtimers/internal/core"
 	"softtimers/internal/cpu"
 	"softtimers/internal/faults"
@@ -45,6 +47,11 @@ type Spec struct {
 	Seed     uint64
 	Hosts    []HostSpec
 	Switches []SwitchSpec
+	// Fabrics declares hierarchical leaf–spine fabrics (see FabricSpec),
+	// assembled after the flat switches. With Shards, Build forces each
+	// fabric member onto its leaf's shard (leaf index mod shard count) so
+	// every leaf is shard-local and only spine trunks cross shards.
+	Fabrics []FabricSpec
 
 	// Shards, when >= 1, runs the topology on a conservative-sync shard
 	// group of that many engines instead of one shared engine (clamped to
@@ -67,11 +74,72 @@ func hashName(name string) uint64 {
 	return h
 }
 
+// Validate checks the declaration for assembly errors: empty or duplicate
+// host names, switch or fabric members naming unknown hosts, a host listed
+// twice on one switch, fabrics without leaves — and, in any spec that
+// declares a network at all, hosts attached to nothing (an unattached NIC
+// is a host no packet can ever reach; silent isolation makes topology bugs
+// look like packet loss). Build runs it and panics on the first error.
+func (s Spec) Validate() error {
+	known := make(map[string]bool, len(s.Hosts))
+	for i, hs := range s.Hosts {
+		if hs.Name == "" {
+			return fmt.Errorf("topology: host %d has no name", i)
+		}
+		if known[hs.Name] {
+			return fmt.Errorf("topology: duplicate host %q", hs.Name)
+		}
+		known[hs.Name] = true
+	}
+	attached := make(map[string]bool)
+	for _, ss := range s.Switches {
+		seen := make(map[string]bool, len(ss.Members))
+		for _, m := range ss.Members {
+			if !known[m] {
+				return fmt.Errorf("topology: switch %q references unknown host %q", ss.Name, m)
+			}
+			if seen[m] {
+				return fmt.Errorf("topology: switch %q lists host %q twice", ss.Name, m)
+			}
+			seen[m] = true
+			attached[m] = true
+		}
+	}
+	for _, fs := range s.Fabrics {
+		if fs.Leaves < 1 {
+			return fmt.Errorf("topology: fabric %q needs at least one leaf", fs.Name)
+		}
+		seen := make(map[string]bool, len(fs.Members))
+		for _, m := range fs.Members {
+			if !known[m] {
+				return fmt.Errorf("topology: fabric %q references unknown host %q", fs.Name, m)
+			}
+			if seen[m] {
+				return fmt.Errorf("topology: fabric %q lists host %q twice", fs.Name, m)
+			}
+			seen[m] = true
+			attached[m] = true
+		}
+	}
+	if len(s.Switches)+len(s.Fabrics) > 0 {
+		for _, hs := range s.Hosts {
+			if !attached[hs.Name] {
+				return fmt.Errorf("topology: host %q is attached to no switch or fabric (unattached NIC)", hs.Name)
+			}
+		}
+	}
+	return nil
+}
+
 // Build assembles the declared topology on a fresh engine seeded with
 // spec.Seed. Hosts are created in declaration order (fixing addresses),
-// then each switch joins its members in listed order. Unknown member
-// names panic — they are assembly bugs, not runtime conditions.
+// then each switch joins its members in listed order, then each fabric
+// assembles. Invalid specs (see Validate) panic — they are assembly bugs,
+// not runtime conditions.
 func Build(spec Spec) *Topology {
+	if err := spec.Validate(); err != nil {
+		panic(err.Error())
+	}
 	var t *Topology
 	if spec.Shards >= 1 {
 		n := spec.Shards
@@ -80,6 +148,27 @@ func Build(spec Spec) *Topology {
 		}
 		t = NewSharded(sim.NewShardGroup(n, spec.Seed), spec.Seed)
 		t.Assign = spec.Assign
+		if len(spec.Fabrics) > 0 {
+			// Fabric members must share their leaf's shard; force the
+			// placement (leaf index mod shard count) over any Assign.
+			forced := make(map[string]int)
+			for fi := range spec.Fabrics {
+				fs := &spec.Fabrics[fi]
+				for i, m := range fs.Members {
+					forced[m] = fs.leafOf(i) % n
+				}
+			}
+			prev := t.Assign
+			t.Assign = func(i int, name string) int {
+				if s, ok := forced[name]; ok {
+					return s
+				}
+				if prev != nil {
+					return prev(i, name)
+				}
+				return i % n
+			}
+		}
 	} else {
 		t = New(sim.NewEngine(spec.Seed))
 		t.SetSeed(spec.Seed)
@@ -109,6 +198,9 @@ func Build(spec Spec) *Topology {
 			}
 			t.Join(sw, h, nicCfg, WireSpec{Bps: ss.Bps, Delay: ss.Delay})
 		}
+	}
+	for _, fs := range spec.Fabrics {
+		t.AddFabric(fs)
 	}
 	return t
 }

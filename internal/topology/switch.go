@@ -28,8 +28,19 @@ import (
 type Switch struct {
 	Name string
 
+	// Default, when set, receives packets whose destination has no
+	// forwarding entry instead of dropping them — the leaf switch's route
+	// toward the spine in hierarchical fabrics. Default-routed packets
+	// count as forwarded, and skip the shard-ownership check (their
+	// destination lives behind the trunk, not on a member port).
+	Default netstack.Endpoint
+
 	table   map[netstack.Addr]netstack.Endpoint
 	shardOf map[netstack.Addr]int // populated only in sharded topologies
+
+	// arenas, when wired by a topology, are the per-shard packet pools
+	// address-miss drops release into (slot 0 on single-engine).
+	arenas []*netstack.Arena
 
 	// fwd and miss count switched and address-miss packets, one slot per
 	// shard (single-engine topologies use slot 0).
@@ -111,7 +122,17 @@ func (s *Switch) Deliver(p *netstack.Packet) { s.deliverOn(0, p) }
 func (s *Switch) deliverOn(shard int, p *netstack.Packet) {
 	port, ok := s.table[p.Dst]
 	if !ok {
+		if s.Default != nil {
+			s.fwd[shard]++
+			s.Default.Deliver(p)
+			return
+		}
 		s.miss[shard]++
+		var a *netstack.Arena
+		if s.arenas != nil {
+			a = s.arenas[shard]
+		}
+		a.Release(p)
 		return
 	}
 	if s.shardOf != nil {

@@ -50,6 +50,7 @@ type Topology struct {
 	shardOf   []int // per host, in add (address) order
 	conduits  int32 // arrival-band conduit ids, allocated in join order
 	finalized bool
+	arenas    []*netstack.Arena // one packet pool per shard (slot 0 single-engine)
 
 	hosts    []*host.Host
 	byName   map[string]*host.Host
@@ -57,6 +58,7 @@ type Topology struct {
 	ports    map[string][]*Port
 	switches []*Switch
 	routers  []*Router
+	fabrics  []*Fabric
 	tracers  []*trace.Buffer // per host, when tracing is enabled
 }
 
@@ -88,6 +90,23 @@ func (t *Topology) SetSeed(seed uint64) { t.seed = seed }
 
 // Group returns the shard group, or nil for single-engine topologies.
 func (t *Topology) Group() *sim.ShardGroup { return t.group }
+
+// Arena returns the packet pool for a shard (use 0 on single-engine
+// topologies). Every host, link and switch assembled on that shard's
+// engine shares it, so the steady-state packet path allocates nothing.
+func (t *Topology) Arena(shard int) *netstack.Arena {
+	if t.arenas == nil {
+		n := 1
+		if t.group != nil {
+			n = t.group.N()
+		}
+		t.arenas = make([]*netstack.Arena, n)
+		for i := range t.arenas {
+			t.arenas[i] = netstack.NewArena()
+		}
+	}
+	return t.arenas[shard]
+}
 
 // HostShard returns the shard the named host runs on (0 in single-engine
 // topologies).
@@ -133,6 +152,7 @@ func (t *Topology) AddHost(cfg host.Config) *host.Host {
 		cfg.Seed = t.seed
 	}
 	h := host.New(eng, cfg)
+	h.SetArena(t.Arena(shard))
 	t.hosts = append(t.hosts, h)
 	t.shardOf = append(t.shardOf, shard)
 	t.byName[cfg.Name] = h
@@ -206,6 +226,7 @@ func (t *Topology) AttachNIC(h *host.Host, nicCfg nic.Config, peer netstack.Endp
 	eng := h.Engine()
 	down := netstack.NewLink(eng, w.DownName, w.Bps, w.Delay, peer)
 	down.Faults = plan.Link("link." + w.DownName)
+	down.SetArena(h.Arena())
 	down.RegisterMetrics(reg)
 	if nicCfg.Faults == nil {
 		nicCfg.Faults = plan.Link("nic." + nicCfg.Name + ".rx")
@@ -213,6 +234,7 @@ func (t *Topology) AttachNIC(h *host.Host, nicCfg nic.Config, peer netstack.Endp
 	n := h.AddNIC(nicCfg, down)
 	up := netstack.NewLink(eng, w.UpName, w.Bps, w.Delay, n)
 	up.Faults = plan.Link("link." + w.UpName)
+	up.SetArena(h.Arena())
 	up.RegisterMetrics(reg)
 	p := &Port{NIC: n, Down: down, Up: up}
 	t.ports[h.Name] = append(t.ports[h.Name], p)
@@ -225,6 +247,8 @@ func (t *Topology) AddSwitch(name string) *Switch {
 	if t.group != nil {
 		sw.setShards(t.group.N())
 	}
+	t.Arena(0) // ensure the per-shard pools exist
+	sw.arenas = t.arenas
 	t.switches = append(t.switches, sw)
 	return sw
 }
@@ -417,6 +441,14 @@ func (t *Topology) Snapshot() *metrics.Snapshot {
 	for _, r := range t.routers {
 		out.Counters["router."+r.H.Name+".forwarded"] = r.Forwarded
 		out.Counters["router."+r.H.Name+".misses"] = r.Misses
+	}
+	for _, f := range t.fabrics {
+		for j := range f.Up {
+			out.Counters["link."+f.Up[j].Name+".sent"] = f.Up[j].Sent
+			out.Counters["link."+f.Up[j].Name+".bytes"] = f.Up[j].Bytes
+			out.Counters["link."+f.Down[j].Name+".sent"] = f.Down[j].Sent
+			out.Counters["link."+f.Down[j].Name+".bytes"] = f.Down[j].Bytes
+		}
 	}
 	return out
 }
