@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench cover metrics-smoke trace-smoke fuzz-smoke scenario-smoke shard-smoke stbench clean
+.PHONY: all check vet build test race bench cover metrics-smoke trace-smoke series-smoke fuzz-smoke scenario-smoke shard-smoke stbench clean
 
 # Per-target budget for the fuzz smoke (CI passes a longer one).
 FUZZTIME ?= 30s
@@ -16,7 +16,7 @@ vet:
 build:
 	$(GO) build ./...
 
-test: metrics-smoke trace-smoke
+test: metrics-smoke trace-smoke series-smoke
 	$(GO) test -shuffle=on ./...
 
 # The engine pool, the parallel experiment runner, and the sharded
@@ -26,9 +26,11 @@ race:
 	$(GO) test -race ./internal/sim ./internal/experiments ./internal/topology ./internal/httpserv ./internal/netstack ./internal/timerwheel
 
 # Engine, metrics and packet hot-path microbenchmarks (allocation counts
-# included). The zero-alloc guard runs first: the two-host packet path must
-# stay at 0 allocs/op, so a pooling regression fails the target before any
-# numbers are printed.
+# included). The zero-alloc guards run first — the two-host packet path must
+# stay at 0 allocs/op both bare (TestTestbedPacketZeroAlloc) and with the
+# flowtrace hop sites wired but sampling off
+# (TestTestbedPacketZeroAllocTracingOff) — so a pooling or tracing
+# regression fails the target before any numbers are printed.
 bench:
 	$(GO) test -run 'TestTestbedPacketZeroAlloc' -count=1 ./internal/topology
 	$(GO) test -bench 'BenchmarkEngine' -benchmem -run '^$$' ./internal/sim
@@ -50,10 +52,24 @@ metrics-smoke:
 
 # End-to-end trace smoke: export a Chrome trace and verify it parses as the
 # trace-event format (the golden test covers the exact bytes; this covers
-# the full workload -> tracer -> exporter pipeline).
+# the full workload -> tracer -> exporter pipeline), then export the traced
+# fleet's multi-host trace with flow arrows and verify the flow events pair
+# up (ph "s"/"f" exactly once per binding id, finish after start).
 trace-smoke:
 	$(GO) run ./cmd/sttrace -workload ST-nfs -mode chrome -n 20000 > /tmp/sttrace-smoke.trace.json
 	$(GO) run ./cmd/tracecheck /tmp/sttrace-smoke.trace.json
+	$(GO) run ./cmd/sttrace -mode flows-chrome -clients 4 > /tmp/sttrace-flows-smoke.trace.json
+	$(GO) run ./cmd/tracecheck /tmp/sttrace-flows-smoke.trace.json
+
+# Virtual-time series smoke: dump the fleet-trace experiment's series and
+# schema-check them (monotone grid timestamps, capacity, alignment), then
+# re-dump fully parallel — the files must be byte-identical (downsampling
+# determinism at -parallel 1 vs 8).
+series-smoke:
+	$(GO) run ./cmd/stbench -exp fleet-trace -scale smoke -parallel 1 -series /tmp/stbench-series1.json >/dev/null
+	$(GO) run ./cmd/metricscheck -series /tmp/stbench-series1.json
+	$(GO) run ./cmd/stbench -exp fleet-trace -scale smoke -parallel 8 -series /tmp/stbench-series8.json >/dev/null
+	diff /tmp/stbench-series1.json /tmp/stbench-series8.json
 
 # Native-fuzz smoke: run each fuzz target for FUZZTIME beyond its checked-in
 # corpus. Corpus-only regression replay happens in plain `make test`.
@@ -76,6 +92,10 @@ shard-smoke:
 	$(GO) run ./cmd/stbench -exp fleet-hier -scale smoke -shards 1 -metrics /tmp/stbench-hier1.json >/dev/null
 	$(GO) run ./cmd/stbench -exp fleet-hier -scale smoke -shards 4 -metrics /tmp/stbench-hier4.json >/dev/null
 	diff /tmp/stbench-hier1.json /tmp/stbench-hier4.json
+	$(GO) run ./cmd/stbench -exp fleet-trace -scale smoke -shards 1 -metrics /tmp/stbench-trace1.json -series /tmp/stbench-tseries1.json >/dev/null
+	$(GO) run ./cmd/stbench -exp fleet-trace -scale smoke -shards 4 -metrics /tmp/stbench-trace4.json -series /tmp/stbench-tseries4.json >/dev/null
+	diff /tmp/stbench-trace1.json /tmp/stbench-trace4.json
+	diff /tmp/stbench-tseries1.json /tmp/stbench-tseries4.json
 
 stbench:
 	$(GO) build -o stbench ./cmd/stbench

@@ -1,11 +1,16 @@
 // Command metricscheck validates a telemetry dump produced by
-// `stbench -metrics <file>`: the top-level shape (experiment name →
+// `stbench -metrics <file>` — the top-level shape (experiment name →
 // snapshot), instrument naming, and internal consistency of every
-// snapshot. It is the schema checker behind `make metrics-smoke`.
+// snapshot — or, with -series, a virtual-time series dump produced by
+// `stbench -series <file>`: monotone virtual timestamps on the sampling
+// grid, ring-buffer capacity respected, and column/timestamp alignment.
+// It is the schema checker behind `make metrics-smoke` and
+// `make series-smoke`.
 //
 // Usage:
 //
 //	stbench -exp fig2 -metrics m.json && metricscheck m.json
+//	stbench -exp fleet-trace -series s.json && metricscheck -series s.json
 //
 // Exit status 0 means the dump is well-formed; any violation is reported
 // on stderr and exits 1.
@@ -13,6 +18,7 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -22,14 +28,21 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: metricscheck <metrics.json>")
+	series := flag.Bool("series", false, "validate a stbench -series dump instead of a -metrics one")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-series] <dump.json>")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(os.Args[1])
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
 		os.Exit(1)
+	}
+	if *series {
+		checkSeries(path, data)
+		return
 	}
 
 	var dump map[string]*metrics.Snapshot
@@ -113,7 +126,83 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("metricscheck: %s ok (%d experiment(s))\n", os.Args[1], len(dump))
+	fmt.Printf("metricscheck: %s ok (%d experiment(s))\n", path, len(dump))
+}
+
+// checkSeries validates a stbench -series dump: name → SeriesSnapshot.
+func checkSeries(path string, data []byte) {
+	var dump map[string]*metrics.SeriesSnapshot
+	if err := json.Unmarshal(data, &dump); err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: not a series dump: %v\n", err)
+		os.Exit(1)
+	}
+	if len(dump) == 0 {
+		fmt.Fprintln(os.Stderr, "metricscheck: series dump contains no snapshots")
+		os.Exit(1)
+	}
+
+	var problems []string
+	report := func(key, format string, args ...any) {
+		problems = append(problems, key+": "+fmt.Sprintf(format, args...))
+	}
+
+	keys := make([]string, 0, len(dump))
+	for k := range dump {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, key := range keys {
+		s := dump[key]
+		if s == nil {
+			report(key, "null snapshot")
+			continue
+		}
+		if s.IntervalNS <= 0 {
+			report(key, "non-positive sampling interval %d ns", s.IntervalNS)
+		}
+		if s.Capacity < 2 || s.Capacity%2 != 0 {
+			report(key, "capacity %d (want even and >= 2)", s.Capacity)
+		}
+		if s.Stride < 1 || s.Stride&(s.Stride-1) != 0 {
+			report(key, "stride %d (want a power of two >= 1)", s.Stride)
+		}
+		if len(s.TimesNS) > s.Capacity {
+			report(key, "%d retained points exceed ring capacity %d", len(s.TimesNS), s.Capacity)
+		}
+		// Retained points sit on the decimation grid: strictly ascending,
+		// exactly stride*interval apart.
+		step := s.Stride * s.IntervalNS
+		for i := 1; i < len(s.TimesNS); i++ {
+			if s.TimesNS[i] <= s.TimesNS[i-1] {
+				report(key, "timestamp %d (%d ns) not after %d ns", i, s.TimesNS[i], s.TimesNS[i-1])
+			} else if step > 0 && s.TimesNS[i]-s.TimesNS[i-1] != step {
+				report(key, "timestamp %d: spacing %d ns off the stride grid (want %d)",
+					i, s.TimesNS[i]-s.TimesNS[i-1], step)
+			}
+		}
+		if len(s.Series) == 0 {
+			report(key, "snapshot has no columns")
+		}
+		for name, col := range s.Series {
+			switch col.Merge {
+			case metrics.MergeSum, metrics.MergeMax, metrics.MergeMin:
+			default:
+				report(key, "column %q has unknown merge kind %q", name, col.Merge)
+			}
+			if len(col.Vals) != len(s.TimesNS) {
+				report(key, "column %q has %d values for %d timestamps", name, len(col.Vals), len(s.TimesNS))
+			}
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s\n", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("metricscheck: %s ok (%d series snapshot(s))\n", path, len(dump))
 }
 
 // checkName enforces the instrument naming convention: dot-separated

@@ -15,6 +15,8 @@
 //	                               # fault-injection scenario
 //	stbench -exp fleet-scale -shards 4  # fleet rows on 4 conservative-sync
 //	                                    # engines (tables/telemetry unchanged)
+//	stbench -exp fleet-trace -series s.json  # virtual-time series dump
+//	stbench -exp fleet-hier -progress  # periodic progress lines on stderr
 //
 // Experiments: fig2, fig3 (alias of fig2), sec52, table1 (incl. figure 4),
 // fig5, table2, fig6, table3, table4, table5, table6, table7, table8,
@@ -40,11 +42,13 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"softtimers/internal/experiments"
 	"softtimers/internal/faults"
 	"softtimers/internal/metrics"
+	"softtimers/internal/sim"
 )
 
 // jsonRecord is the -json output: one BENCH_results.json-style record
@@ -75,6 +79,10 @@ func main() {
 	jsonPath := flag.String("json", "", "also write a machine-readable results record to this file")
 	metricsPath := flag.String("metrics", "",
 		"write each experiment's full telemetry snapshot (JSON, deterministic at any -parallel) to this file")
+	seriesPath := flag.String("series", "",
+		"write each experiment's virtual-time series snapshots (JSON, deterministic at any -parallel/-shards) to this file")
+	progress := flag.Bool("progress", false,
+		"print a single-line progress report to stderr as long sweeps advance")
 	scenario := flag.String("scenario", "",
 		"run the degradation summary under this named fault scenario instead of -exp ("+
 			strings.Join(faults.ScenarioNames(), ", ")+")")
@@ -129,6 +137,9 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Shards = *shards
+	if *progress {
+		sc.Progress = progressPrinter(*jsonPath != "")
+	}
 
 	var names []string
 	if *scenario != "" {
@@ -192,6 +203,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *seriesPath != "" {
+		if err := writeSeries(*seriesPath, results); err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: writing %s: %v\n", *seriesPath, err)
+			os.Exit(1)
+		}
+	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
@@ -226,6 +243,48 @@ func writeMetrics(path string, results []experiments.Result) error {
 		return err
 	}
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// writeSeries dumps each experiment's virtual-time series snapshots keyed
+// "experiment.rowkey.scope". Series are sampled on virtual-time cadences
+// and JSON map keys sort, so the file is byte-identical at any -parallel
+// or -shards setting. Experiments without series are omitted.
+func writeSeries(path string, results []experiments.Result) error {
+	out := map[string]*metrics.SeriesSnapshot{}
+	for _, r := range results {
+		if r.Table == nil {
+			continue
+		}
+		for key, s := range r.Table.Series {
+			out[r.Name+"."+key] = s
+		}
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// progressPrinter builds the -progress callback: one line per report on
+// stderr, serialized across workers. Virtual time and events fired are
+// simulation facts — deterministic at any -parallel/-shards — while wall
+// time is not, so it is suppressed when a -json record is being written
+// (keeping every emitted value reproducible).
+func progressPrinter(deterministic bool) func(label string, virtual sim.Time, fired uint64) {
+	var mu sync.Mutex
+	start := time.Now()
+	return func(label string, virtual sim.Time, fired uint64) {
+		mu.Lock()
+		defer mu.Unlock()
+		if deterministic {
+			fmt.Fprintf(os.Stderr, "progress: %s virtual=%.1fms events=%d\n",
+				label, virtual.Micros()/1000, fired)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "progress: %s virtual=%.1fms wall=%s events=%d\n",
+			label, virtual.Micros()/1000, time.Since(start).Round(time.Millisecond), fired)
+	}
 }
 
 func writeJSON(path, scale string, parallel int, total time.Duration, results []experiments.Result) error {

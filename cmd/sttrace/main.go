@@ -4,21 +4,30 @@
 // (time, interval, source) samples, or a full execution trace in Chrome
 // trace-event JSON, loadable in chrome://tracing or Perfetto.
 //
+// Two network modes drive the traced hierarchical fleet instead of a
+// single-kernel workload: "flows" dumps the sampled per-packet flow spans
+// (per-hop virtual timestamps) as JSON, and "flows-chrome" the merged
+// multi-host Chrome trace with flow arrows overlaid between host rows.
+//
 // Usage:
 //
 //	sttrace -workload ST-Apache -mode cdf      > apache_cdf.csv
 //	sttrace -workload ST-nfs    -mode sources  > nfs_sources.csv
 //	sttrace -workload ST-Flash  -mode trace -n 10000 > flash_trace.csv
 //	sttrace -workload ST-Apache -mode chrome -n 20000 > apache.trace.json
+//	sttrace -mode flows -clients 8 > flows.json
+//	sttrace -mode flows-chrome -clients 8 > fleet.trace.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"softtimers/internal/cpu"
+	"softtimers/internal/experiments"
 	"softtimers/internal/kernel"
 	"softtimers/internal/sim"
 	"softtimers/internal/trace"
@@ -27,11 +36,34 @@ import (
 
 func main() {
 	wl := flag.String("workload", "ST-Apache", "workload name (ST-Apache, ST-Apache-compute, ST-Flash, ST-real-audio, ST-nfs, ST-kernel-build)")
-	mode := flag.String("mode", "cdf", "output: cdf, sources, trace, or chrome")
+	mode := flag.String("mode", "cdf", "output: cdf, sources, trace, chrome, flows, or flows-chrome")
 	n := flag.Int64("n", 500000, "number of trigger-interval samples (chrome: retained trace events)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	clients := flag.Int("clients", 8, "client-host count for the flows/flows-chrome fleet")
 	xeon := flag.Bool("xeon", false, "use the 500 MHz Pentium III profile instead of the P-II 300")
 	flag.Parse()
+
+	// The fleet-driven modes need no workload rig; handle them first.
+	switch *mode {
+	case "flows", "flows-chrome":
+		sc := experiments.QuickScale()
+		sc.Seed = *seed
+		spans, chrome := experiments.FleetTraceExport(sc, *clients, *mode == "flows-chrome")
+		if *mode == "flows-chrome" {
+			if _, err := os.Stdout.Write(chrome); err != nil {
+				fmt.Fprintf(os.Stderr, "sttrace: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		buf, err := json.MarshalIndent(spans, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sttrace: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(buf, '\n'))
+		return
+	}
 
 	def, err := workloads.ByName(*wl)
 	if err != nil {
@@ -96,7 +128,7 @@ func main() {
 				buf.Len(), d)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q (want cdf, sources, trace, or chrome)\n", *mode)
+		fmt.Fprintf(os.Stderr, "unknown mode %q (want cdf, sources, trace, chrome, flows, or flows-chrome)\n", *mode)
 		os.Exit(2)
 	}
 }

@@ -1,11 +1,15 @@
 // Command tracecheck validates a Chrome trace-event JSON file as produced
-// by `sttrace -mode chrome` or trace.Buffer.WriteChrome: top-level shape,
-// known phases, balanced begin/end slices per thread, and chronological
-// timestamps. It is the checker behind `make trace-smoke`.
+// by `sttrace -mode chrome` / `-mode flows-chrome` or the trace package's
+// Chrome writers: top-level shape, known phases, balanced begin/end slices
+// per thread track, chronological timestamps, and — for flow events
+// (ph "s"/"f") — exactly-once start/finish pairing per binding id with the
+// finish no earlier than the start. It is the checker behind
+// `make trace-smoke`.
 //
 // Usage:
 //
 //	sttrace -workload ST-nfs -mode chrome > t.json && tracecheck t.json
+//	sttrace -mode flows-chrome > f.json && tracecheck f.json
 package main
 
 import (
@@ -20,7 +24,21 @@ type traceEvent struct {
 	TS    float64        `json:"ts"`
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
+	ID    string         `json:"id"`
+	Cat   string         `json:"cat"`
+	BP    string         `json:"bp"`
 	Args  map[string]any `json:"args"`
+}
+
+// track identifies one thread row: slice nesting and timestamp order are
+// per (pid, tid) — separate processes restart their clocks.
+type track struct{ pid, tid int }
+
+// flowState tracks one binding id's start/finish pairing.
+type flowState struct {
+	starts   int
+	finishes int
+	startTS  float64
 }
 
 func main() {
@@ -53,9 +71,12 @@ func main() {
 		report("displayTimeUnit %q (the format allows ms or ns)", u)
 	}
 
-	depth := map[int]int{} // per-tid open slice count
-	lastTS := map[int]float64{}
+	depth := map[track]int{} // per-track open slice count
+	lastTS := map[track]float64{}
+	flows := map[string]*flowState{} // binding id -> pairing state
+	nFlow := 0
 	for i, e := range doc.TraceEvents {
+		tr := track{e.PID, e.TID}
 		switch e.Phase {
 		case "M":
 			if name, _ := e.Args["name"].(string); name == "" {
@@ -63,12 +84,42 @@ func main() {
 			}
 			continue // metadata is timeless
 		case "B":
-			depth[e.TID]++
+			depth[tr]++
 		case "E":
-			depth[e.TID]--
-			if depth[e.TID] < 0 {
-				report("event %d: E without matching B on tid %d", i, e.TID)
+			depth[tr]--
+			if depth[tr] < 0 {
+				report("event %d: E without matching B on pid %d tid %d", i, e.PID, e.TID)
 			}
+		case "s", "f":
+			// Flow events bind by id across tracks; they are appended after
+			// the slice tracks and restart the clock, so they get pairing
+			// checks instead of per-track order checks.
+			nFlow++
+			if e.ID == "" {
+				report("event %d: flow event without a binding id", i)
+				continue
+			}
+			if e.TS < 0 {
+				report("event %d: negative timestamp %v", i, e.TS)
+			}
+			fs := flows[e.ID]
+			if fs == nil {
+				fs = &flowState{}
+				flows[e.ID] = fs
+			}
+			if e.Phase == "s" {
+				fs.starts++
+				fs.startTS = e.TS
+			} else {
+				fs.finishes++
+				if e.BP != "" && e.BP != "e" {
+					report("event %d: flow finish with binding point %q (want e or empty)", i, e.BP)
+				}
+				if fs.starts > 0 && e.TS < fs.startTS {
+					report("event %d: flow %s finishes at %v before its start %v", i, e.ID, e.TS, fs.startTS)
+				}
+			}
+			continue
 		case "i", "I", "X":
 		default:
 			report("event %d: unknown phase %q", i, e.Phase)
@@ -76,14 +127,20 @@ func main() {
 		if e.TS < 0 {
 			report("event %d: negative timestamp %v", i, e.TS)
 		}
-		if prev, seen := lastTS[e.TID]; seen && e.TS < prev {
-			report("event %d: tid %d timestamp %v precedes %v", i, e.TID, e.TS, prev)
+		if prev, seen := lastTS[tr]; seen && e.TS < prev {
+			report("event %d: pid %d tid %d timestamp %v precedes %v", i, e.PID, e.TID, e.TS, prev)
 		}
-		lastTS[e.TID] = e.TS
+		lastTS[tr] = e.TS
 	}
-	for tid, d := range depth {
+	for tr, d := range depth {
 		if d > 0 {
-			report("tid %d: %d begin slice(s) never ended", tid, d)
+			report("pid %d tid %d: %d begin slice(s) never ended", tr.pid, tr.tid, d)
+		}
+	}
+	for id, fs := range flows {
+		if fs.starts != 1 || fs.finishes != 1 {
+			report("flow %s: %d start(s) and %d finish(es) (want exactly one of each)",
+				id, fs.starts, fs.finishes)
 		}
 	}
 
@@ -92,6 +149,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tracecheck: %s\n", p)
 		}
 		os.Exit(1)
+	}
+	if nFlow > 0 {
+		fmt.Printf("tracecheck: %s ok (%d events, %d flow pairs)\n", os.Args[1], len(doc.TraceEvents), len(flows))
+		return
 	}
 	fmt.Printf("tracecheck: %s ok (%d events)\n", os.Args[1], len(doc.TraceEvents))
 }

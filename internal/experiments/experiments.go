@@ -50,6 +50,13 @@ type Scale struct {
 	// FleetCounts overrides the fleet-scale client-count sweep (nil uses
 	// the default 1..64 doubling).
 	FleetCounts []int
+	// Progress, when non-nil, receives periodic callbacks from
+	// long-running drivers: a row label, the row's virtual clock, and
+	// engine events fired so far. Drivers chunk their measurement runs to
+	// report it; chunking never changes results (RunFor composes), so
+	// telemetry and tables are byte-identical with Progress on or off.
+	// Never serialized (stbench keeps it out of -json output).
+	Progress func(label string, virtual sim.Time, fired uint64) `json:"-"`
 }
 
 // FullScale reproduces the paper's experiment sizes, and pushes the fleet
@@ -110,6 +117,10 @@ type Table struct {
 	// order, so it is identical at any Workers setting. Dumped by
 	// stbench -metrics; not rendered in the text table.
 	Telemetry *metrics.Snapshot
+	// Series, when non-nil, carries virtual-time series snapshots under
+	// stable keys (e.g. "clients08.fleet"). Dumped by stbench -series; not
+	// rendered in the text table.
+	Series map[string]*metrics.SeriesSnapshot
 }
 
 // mergeTelemetry folds per-row registry snapshots in slice (row-index)

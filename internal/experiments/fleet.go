@@ -74,6 +74,27 @@ func fleetProbe(h *host.Host, rng *sim.RNG) {
 	eng.After(rng.ExpTime(300*sim.Microsecond), fire)
 }
 
+// runMeasured advances t by the measure window. With sc.Progress set it
+// runs in eight chunks, reporting the label, virtual clock and fired-event
+// count after each; RunFor composes, so chunking changes nothing but the
+// callbacks.
+func runMeasured(sc Scale, label string, t *topology.Topology, measure sim.Time) {
+	if sc.Progress == nil {
+		t.RunFor(measure)
+		return
+	}
+	const chunks = 8
+	step := measure / chunks
+	var done sim.Time
+	for i := 0; i < chunks-1 && step > 0; i++ {
+		t.RunFor(step)
+		done += step
+		sc.Progress(label, t.Now(), t.Fired())
+	}
+	t.RunFor(measure - done)
+	sc.Progress(label, t.Now(), t.Fired())
+}
+
 // runFleet builds and measures one fleet size: a server host and n client
 // hosts joined by one switch, every machine probed for soft-timer delay.
 func runFleet(sc Scale, salt uint64, n int) (FleetRow, *metrics.Snapshot) {
@@ -164,7 +185,7 @@ func runFleetOpts(sc Scale, salt uint64, n, traceCap int) (FleetRow, *metrics.Sn
 	a0 := server.K.Accounting()
 	t0 := t.Now()
 	wall0 := time.Now()
-	t.RunFor(measure)
+	runMeasured(sc, fmt.Sprintf("fleet-scale n=%d", n), t, measure)
 	wallMS := float64(time.Since(wall0).Microseconds()) / 1000
 	c1 := srv.Completed
 	a1 := server.K.Accounting()

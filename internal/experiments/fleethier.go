@@ -168,7 +168,7 @@ func runFleetHierOpts(sc Scale, salt uint64, n, traceCap int) (FleetHierRow, *me
 	a0 := server.K.Accounting()
 	t0 := t.Now()
 	wall0 := time.Now()
-	t.RunFor(measure)
+	runMeasured(sc, fmt.Sprintf("fleet-hier n=%d", n), t, measure)
 	wallMS := float64(time.Since(wall0).Microseconds()) / 1000
 	c1 := srv.Completed
 	a1 := server.K.Accounting()

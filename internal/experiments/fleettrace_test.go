@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"softtimers/internal/sim"
+)
+
+// fleetTraceRunBytes runs one traced fleet and renders every observability
+// output — row, merged telemetry, per-host/fleet series, exported spans,
+// Chrome trace with flow arrows — as comparable bytes (WallMS zeroed: real
+// time is the one legitimately mode-dependent field).
+func fleetTraceRunBytes(t *testing.T, shards, workers int) (FleetTraceRow, [][]byte) {
+	t.Helper()
+	sc := tinyScale()
+	sc.Shards = shards
+	sc.Workers = workers
+	r := runFleetTrace(sc, 421, 16, true)
+	r.row.WallMS = 0
+	var out [][]byte
+	for _, v := range []interface{}{r.row, r.snap, r.series, r.spans} {
+		j, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, j)
+	}
+	return r.row, append(out, r.chrome)
+}
+
+// The tentpole determinism contract: the traced fleet's spans, series,
+// telemetry and Chrome flow trace are byte-identical whether it runs on
+// the legacy shared engine, one shard, or many shards (8 requested,
+// clamped to the leaf count) — serially or with a worker pool. Sampling
+// draws come from per-host private RNG streams and span IDs are
+// mode-invariant, so every byte must match.
+func TestFleetTraceShardedMatchesLegacy(t *testing.T) {
+	labels := []string{"row", "telemetry", "series", "spans", "chrome"}
+	refRow, ref := fleetTraceRunBytes(t, 0, 0)
+	if refRow.SampledFlows == 0 || refRow.Spans == 0 || refRow.Decomposed == 0 {
+		t.Fatalf("reference run traced nothing: %+v", refRow)
+	}
+	for _, c := range []struct {
+		name            string
+		shards, workers int
+	}{
+		{"shards=1", 1, 0},
+		{"shards=2", 2, 0},
+		{"shards=8", 8, 0},
+		{"shards=8/workers=4", 8, 4},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			_, got := fleetTraceRunBytes(t, c.shards, c.workers)
+			for i, b := range got {
+				if !bytes.Equal(b, ref[i]) {
+					t.Errorf("%s diverged from legacy (%d vs %d bytes)", labels[i], len(b), len(ref[i]))
+				}
+			}
+		})
+	}
+}
+
+// The decomposition claim itself: every traced request/response pair's
+// per-hop sum telescopes to a path latency the client's observed TTFB
+// covers, with a non-negative residue under the tolerance.
+func TestFleetTraceDecomposition(t *testing.T) {
+	sc := tinyScale()
+	r := runFleetTrace(sc, 421, 16, false)
+	row := r.row
+	if row.SampledFlows == 0 || row.Spans == 0 {
+		t.Fatalf("nothing traced: %+v", row)
+	}
+	if row.Decomposed == 0 {
+		t.Fatalf("no request/response pairs decomposed: %+v", row)
+	}
+	if !row.DecompOK {
+		t.Fatalf("decomposition failed: %+v", row)
+	}
+	if row.ReqUS <= 0 || row.RespUS <= 0 || row.PathUS <= 0 {
+		t.Fatalf("degenerate decomposition means: %+v", row)
+	}
+	if row.TTFBUS < row.PathUS {
+		t.Fatalf("traced path %.1fus exceeds observed TTFB %.1fus", row.PathUS, row.TTFBUS)
+	}
+	if row.GapUS < 0 || row.MaxGapUS > fleetTraceGapTolUS {
+		t.Fatalf("client residue out of bounds: mean %.1fus max %.1fus", row.GapUS, row.MaxGapUS)
+	}
+	// Spans carry real multi-hop paths: a request crosses at least NIC tx,
+	// two links, a leaf forward, the ring and the pickup.
+	if row.Hops < row.Spans*2 {
+		t.Fatalf("%d hops across %d spans — spans are degenerate", row.Hops, row.Spans)
+	}
+	// The series rode along: fleet merge plus the server's own columns.
+	for _, key := range []string{"clients016.fleet", "clients016.host.server"} {
+		s := r.series[key]
+		if s == nil || len(s.TimesNS) == 0 {
+			t.Fatalf("series %q missing or empty", key)
+		}
+	}
+}
+
+// The -progress callback changes batching (the measure window runs in
+// chunks so there is something to report) but must not change a single
+// simulated byte, and must fire with monotone virtual time.
+func TestFleetTraceProgressCallbackIsInert(t *testing.T) {
+	_, ref := fleetTraceRunBytes(t, 2, 0)
+	sc := tinyScale()
+	sc.Shards = 2
+	calls := 0
+	var lastVirtual sim.Time
+	sc.Progress = func(label string, virtual sim.Time, fired uint64) {
+		calls++
+		if virtual < lastVirtual {
+			t.Errorf("progress virtual time went backwards: %v after %v", virtual, lastVirtual)
+		}
+		lastVirtual = virtual
+		if label == "" || fired == 0 {
+			t.Errorf("degenerate progress report: label %q fired %d", label, fired)
+		}
+	}
+	r := runFleetTrace(sc, 421, 16, true)
+	r.row.WallMS = 0
+	labels := []string{"row", "telemetry", "series", "spans", "chrome"}
+	var got [][]byte
+	for _, v := range []interface{}{r.row, r.snap, r.series, r.spans} {
+		j, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, j)
+	}
+	got = append(got, r.chrome)
+	for i, b := range got {
+		if !bytes.Equal(b, ref[i]) {
+			t.Errorf("%s diverged under -progress (%d vs %d bytes)", labels[i], len(b), len(ref[i]))
+		}
+	}
+	if calls < 8 {
+		t.Errorf("progress fired %d times, want at least the 8 measure chunks", calls)
+	}
+}

@@ -41,13 +41,14 @@ var registry = map[string]entry{
 	// Multi-node topology experiments.
 	"fleet-scale": {func(sc Scale) *Table { return RunFleetScale(sc).Table() }, "one server vs up to 1024 real client kernels on a switched LAN (-shards N for parallel engines)"},
 	"fleet-hier":  {func(sc Scale) *Table { return RunFleetHier(sc).Table() }, "hierarchical fleet: leaf-spine fabric with connection churn (-shards N for per-leaf engines)"},
+	"fleet-trace": {func(sc Scale) *Table { return RunFleetTrace(sc).Table() }, "traced hierarchical fleet: sampled flow spans, per-hop latency decomposition, virtual-time series (-series dumps them)"},
 }
 
 // Order fixes the presentation sequence for "all experiments".
 var Order = []string{"fig2", "sec52", "table1", "fig5", "table2", "fig6",
 	"table3", "table4", "table5", "table6", "table7", "table8",
 	"delaydist", "sec510", "ablation-wheel", "ablation-idle", "ablation-pollution",
-	"degradation-starve", "degradation-loss", "fleet-scale", "fleet-hier"}
+	"degradation-starve", "degradation-loss", "fleet-scale", "fleet-hier", "fleet-trace"}
 
 // Lookup returns the driver registered under name.
 func Lookup(name string) (Runner, bool) {

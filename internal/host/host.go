@@ -62,10 +62,11 @@ type Host struct {
 	// NICs are the machine's interfaces in attach order.
 	NICs []*nic.NIC
 
-	plan    *faults.Plan
-	rng     *sim.RNG
-	arena   *netstack.Arena
-	started bool
+	plan     *faults.Plan
+	rng      *sim.RNG
+	traceRNG *sim.RNG
+	arena    *netstack.Arena
+	started  bool
 }
 
 // nameSalt hashes a host name with FNV-1a, the same mix topologies use for
@@ -92,6 +93,11 @@ func New(eng *sim.Engine, cfg Config) *Host {
 	}
 	h := &Host{Name: cfg.Name, plan: cfg.Faults}
 	h.rng = sim.NewRNG(cfg.Seed ^ nameSalt(cfg.Name))
+	// A second private stream for observability decisions (flowtrace
+	// sampling): same (Seed, Name) derivation with an extra salt, so
+	// enabling tracing never advances — or is advanced by — any workload
+	// draw, and sampling decisions are placement-invariant too.
+	h.traceRNG = sim.NewRNG(cfg.Seed ^ nameSalt(cfg.Name) ^ 0xf10317ace5a17e3d)
 	h.K = kernel.New(eng, cfg.Profile, kOpts)
 	h.F = core.New(h.K, cfg.Facility)
 	return h
@@ -102,6 +108,11 @@ func New(eng *sim.Engine, cfg Config) *Host {
 // on — so workloads seeded through it replay identically whether the
 // topology runs on one engine or sharded across several.
 func (h *Host) Rand() *sim.RNG { return h.rng }
+
+// TraceRand returns the host's private observability RNG stream, disjoint
+// from Rand's by construction. Flowtrace samplers draw from it, so
+// turning tracing on or off cannot perturb workload randomness.
+func (h *Host) TraceRand() *sim.RNG { return h.traceRNG }
 
 // Arena returns the host's packet arena, creating a private one lazily.
 // Topologies install a shared engine-local (per-shard) arena with SetArena

@@ -3,6 +3,7 @@ package httpserv
 import (
 	"fmt"
 
+	"softtimers/internal/flowtrace"
 	"softtimers/internal/host"
 	"softtimers/internal/kernel"
 	"softtimers/internal/netstack"
@@ -36,6 +37,14 @@ type ClientHost struct {
 	ResponseTimes *stats.Online
 	// Churns counts slot dormancy periods taken (connection churn).
 	Churns int64
+
+	// FlowTrace, when set (before the kernel starts), samples flows for
+	// span tracing: one SampleFlow decision per connection, spans attached
+	// to every packet of a traced flow. TTFB records, per traced flow, the
+	// virtual time from the request sendto syscall to the first response
+	// data segment's arrival in protocol context.
+	FlowTrace *flowtrace.Sampler
+	TTFB      map[int]sim.Time
 
 	arena    *netstack.Arena
 	rng      *sim.RNG
@@ -89,6 +98,7 @@ type chSlot struct {
 	started   bool // StartDelay consumed
 	connected bool // SYNACK arrived
 	done      bool // response fully received
+	traced    bool // this connection's flow is span-traced
 	reqStart  sim.Time
 	wq        kernel.WaitQueue
 }
@@ -123,6 +133,7 @@ func NewClientHost(h *host.Host, n *nic.NIC, cfg ClientHostConfig) *ClientHost {
 	c := &ClientHost{
 		H: h, N: n, cfg: cfg, ResponseTimes: &stats.Online{},
 		arena: h.Arena(), rng: h.Rand(),
+		TTFB: make(map[int]sim.Time),
 	}
 	n.RxHandler = c.handleRx
 	for i := 0; i < cfg.Concurrency; i++ {
@@ -134,11 +145,15 @@ func NewClientHost(h *host.Host, n *nic.NIC, cfg ClientHostConfig) *ClientHost {
 	return c
 }
 
-// pkt acquires an addressed control packet for the slot's flow.
+// pkt acquires an addressed control packet for the slot's flow, attaching
+// a trace span when the connection is sampled.
 func (s *chSlot) pkt(kind netstack.Kind, size int) *netstack.Packet {
 	p := s.c.arena.Get()
 	p.Flow, p.Src, p.Dst = s.flow, s.c.cfg.Addr, s.c.cfg.ServerAddr
 	p.Kind, p.Size = kind, size
+	if s.traced {
+		p.Trace = s.c.FlowTrace.StartSpan()
+	}
 	return p
 }
 
@@ -159,6 +174,9 @@ func (s *chSlot) run(p *kernel.Proc) {
 	s.flow = c.cfg.FlowBase + c.nextFlow
 	s.got, s.unacked = 0, 0
 	s.connected, s.done = false, false
+	// One sampling decision per connection, in host-local flow-open order
+	// — the draw sequence is invariant under sharding and worker count.
+	s.traced = c.FlowTrace.SampleFlow()
 	p.Syscall("connect", c.cfg.ConnectWork, func() {
 		p.ChainC(c.N.TxChainOf(s.pkt(netstack.Syn, c.cfg.HeaderBytes)), func() {
 			s.awaitConnected(p)
@@ -230,6 +248,9 @@ func (c *ClientHost) handleRx(p *netstack.Packet) {
 		slot.wq.WakeOne()
 	case netstack.Data:
 		slot.got++
+		if slot.got == 1 && slot.traced {
+			c.TTFB[slot.flow] = c.H.K.Now() - slot.reqStart
+		}
 		slot.unacked++
 		if slot.unacked >= 2 || slot.got >= c.cfg.Segments {
 			slot.unacked = 0

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"softtimers/internal/core"
+	"softtimers/internal/flowtrace"
 	"softtimers/internal/kernel"
 	"softtimers/internal/netstack"
 	"softtimers/internal/nic"
@@ -126,6 +127,7 @@ type conn struct {
 	peer    netstack.Addr // client host address, for switched topologies
 	fresh   bool          // no request served yet on this connection
 	pending bool          // a request is waiting for a worker
+	traced  bool          // the client's SYN carried a trace span
 }
 
 // Server is the simulated web server.
@@ -139,6 +141,12 @@ type Server struct {
 	// switches can forward by address. Zero (the default) leaves packets
 	// unaddressed — correct for the point-to-point testbed links.
 	Addr netstack.Addr
+
+	// FlowTrace, when set, allocates spans for replies on connections whose
+	// SYN carried a span — the server inherits the client's per-flow
+	// sampling decision, so both directions of a traced flow are recorded
+	// without a second RNG draw.
+	FlowTrace *flowtrace.Sampler
 
 	conns    map[int]*conn
 	reqQ     []*conn
@@ -254,15 +262,15 @@ func (s *Server) newPkt(flow int, dst netstack.Addr, kind netstack.Kind, size in
 func (s *Server) handleRx(p *netstack.Packet) {
 	switch p.Kind {
 	case netstack.Syn:
-		c := &conn{flow: p.Flow, peer: p.Src, fresh: true}
+		c := &conn{flow: p.Flow, peer: p.Src, fresh: true, traced: p.Trace != nil}
 		s.conns[p.Flow] = c
-		s.nicFor(p.Flow).TxFromKernel(s.newPkt(p.Flow, p.Src, netstack.SynAck, s.cfg.HeaderBytes))
+		s.nicFor(p.Flow).TxFromKernel(s.tracePkt(c, s.newPkt(p.Flow, p.Src, netstack.SynAck, s.cfg.HeaderBytes)))
 	case netstack.Request:
 		c := s.conns[p.Flow]
 		if c == nil {
 			// Persistent connections may predate the server (warm
 			// start); adopt them.
-			c = &conn{flow: p.Flow, peer: p.Src, fresh: false}
+			c = &conn{flow: p.Flow, peer: p.Src, fresh: false, traced: p.Trace != nil}
 			s.conns[p.Flow] = c
 		}
 		if c.pending {
@@ -271,14 +279,26 @@ func (s *Server) handleRx(p *netstack.Packet) {
 		c.pending = true
 		s.reqQ = append(s.reqQ, c)
 		// ACK the request segment (TCP acks data carrying a push).
-		s.nicFor(p.Flow).TxFromKernel(s.newPkt(p.Flow, c.peer, netstack.Ack, s.cfg.HeaderBytes))
+		s.nicFor(p.Flow).TxFromKernel(s.tracePkt(c, s.newPkt(p.Flow, c.peer, netstack.Ack, s.cfg.HeaderBytes)))
 		s.workerWQ.WakeOne()
 	case netstack.Ack:
 		// Window bookkeeping only; cost charged in the rx path.
 	case netstack.Fin:
-		s.nicFor(p.Flow).TxFromKernel(s.newPkt(p.Flow, p.Src, netstack.Ack, s.cfg.HeaderBytes))
+		ack := s.newPkt(p.Flow, p.Src, netstack.Ack, s.cfg.HeaderBytes)
+		if p.Trace != nil && s.FlowTrace != nil {
+			ack.Trace = s.FlowTrace.StartSpan()
+		}
+		s.nicFor(p.Flow).TxFromKernel(ack)
 		delete(s.conns, p.Flow)
 	}
+}
+
+// tracePkt attaches a span to a reply on a traced connection.
+func (s *Server) tracePkt(c *conn, p *netstack.Packet) *netstack.Packet {
+	if c.traced && s.FlowTrace != nil {
+		p.Trace = s.FlowTrace.StartSpan()
+	}
+	return p
 }
 
 // workerLoop is the per-process server loop: take a pending request, run
@@ -361,6 +381,13 @@ func (s *Server) responsePackets(c *conn) []*netstack.Packet {
 	}
 	if !s.cfg.Persistent {
 		pkts = append(pkts, s.newPkt(c.flow, c.peer, netstack.Fin, s.cfg.HeaderBytes))
+	}
+	if c.traced && s.FlowTrace != nil {
+		// Spans attach after Seq/Payload are final; every segment of a
+		// traced flow gets one, in response order.
+		for _, pkt := range pkts {
+			pkt.Trace = s.FlowTrace.StartSpan()
+		}
 	}
 	s.respBuf = pkts
 	return pkts

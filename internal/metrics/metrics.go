@@ -294,6 +294,40 @@ type HistogramSnapshot struct {
 	Buckets  []BucketCount `json:"buckets"`
 }
 
+// Quantile estimates the q-th quantile (q clamped to [0,1]) by linear
+// interpolation within the containing sparse bucket — the same estimator
+// as stats.Histogram.Quantile, so for an unmerged snapshot the two agree
+// exactly. The one divergence is mass beyond the last bucket: the sparse
+// form does not know the original bucket count, so overflowed mass
+// reports one width past the last non-empty bucket instead of the
+// histogram's fixed upper bound.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	var cum int64
+	var last int
+	for _, bc := range h.Buckets {
+		if float64(cum+bc.Count) >= target {
+			within := (target - float64(cum)) / float64(bc.Count)
+			if within < 0 {
+				within = 0
+			}
+			return (float64(bc.Index) + within) * h.Width
+		}
+		cum += bc.Count
+		last = bc.Index
+	}
+	return h.Width * float64(last+1)
+}
+
 // GaugeSnapshot is one gauge's state.
 type GaugeSnapshot struct {
 	Value int64 `json:"value"`
@@ -424,6 +458,17 @@ func mergeHistogram(a, b HistogramSnapshot) HistogramSnapshot {
 // (host.<name>.kernel.syscalls, ...) inside one merged snapshot.
 // Histogram bucket slices are shared with the receiver; snapshots are
 // read-only views, so the aliasing is safe.
+//
+// Prefixing performs no collision detection: if two prefixed snapshots
+// produce the same full name (host "a" with counter "b.x" and host "a.b"
+// with counter "x" both yield "host.a.b.x"), a subsequent Merge combines
+// them under the ordinary merge rules — counters sum, gauges take the
+// max, histograms add bucket-wise and panic on width mismatch. A name
+// colliding across instrument kinds (a counter on one host, a gauge on
+// the other) is NOT an error either: the snapshot maps are per-kind, so
+// both survive under the same name. Callers that need distinct totals
+// must pick non-ambiguous host names; dots in host names are legal but
+// collapse the namespace.
 func (s *Snapshot) Prefixed(prefix string) *Snapshot {
 	out := &Snapshot{
 		Counters:   make(map[string]int64, len(s.Counters)),

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// observe fills a registry histogram with a deterministic heavy-head,
+// sparse-tail sample set offset by base.
+func observe(h *Histogram, base float64, n int) {
+	for i := 0; i < n; i++ {
+		v := base + float64(i%97)*0.5 + float64(i%13)
+		h.Observe(v)
+	}
+}
+
+// An unmerged snapshot's Quantile must agree exactly with the live
+// stats.Histogram it was taken from: same estimator, same answers.
+func TestSnapshotQuantileMatchesLiveHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 2, 256)
+	observe(h, 3, 10_000)
+	snap := r.Snapshot().Histograms["lat"]
+	for _, q := range []float64{0, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		got, want := snap.Quantile(q), h.Underlying().Quantile(q)
+		if got != want {
+			t.Errorf("snapshot Quantile(%v) = %v, live histogram says %v", q, got, want)
+		}
+	}
+	if snap.Quantile(-1) != snap.Quantile(0) || snap.Quantile(2) != snap.Quantile(1) {
+		t.Error("out-of-range q must clamp to [0,1]")
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty snapshot must answer 0")
+	}
+}
+
+// The satellite regression: Quantile of a Merge'd histogram equals
+// Quantile of the equivalent single histogram fed both sample sets — a
+// merge that mangles sparse-bucket alignment or counts shifts quantiles
+// by whole buckets.
+func TestMergedHistogramQuantileEqualsSingle(t *testing.T) {
+	// Two hosts with disjoint-ish distributions (one low, one shifted into
+	// the tail), plus the single histogram holding every sample.
+	ra, rb, rall := NewRegistry(), NewRegistry(), NewRegistry()
+	ha := ra.Histogram("lat", 2, 256)
+	hb := rb.Histogram("lat", 2, 256)
+	hall := rall.Histogram("lat", 2, 256)
+	observe(ha, 0, 5_000)
+	observe(hall, 0, 5_000)
+	observe(hb, 150, 2_000)
+	observe(hall, 150, 2_000)
+
+	merged := ra.Snapshot()
+	merged.Merge(rb.Snapshot())
+	m := merged.Histograms["lat"]
+	if m.Count != hall.Underlying().N() {
+		t.Fatalf("merged count %d, want %d", m.Count, hall.Underlying().N())
+	}
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.7, 0.71, 0.9, 0.99, 1} {
+		got, want := m.Quantile(q), hall.Underlying().Quantile(q)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("merged Quantile(%v) = %v, single histogram says %v", q, got, want)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package netstack
 
-import "fmt"
+import (
+	"fmt"
+
+	"softtimers/internal/flowtrace"
+)
 
 // Packet pooling. An Arena recycles packets the way sim.Engine recycles
 // events: acquisition pops a free list, release pushes back onto the list
@@ -39,10 +43,22 @@ const arenaChunk = 64
 type Arena struct {
 	free *Packet
 
+	// rec, when set, retires the span of any traced packet whose
+	// refcount drops to zero here — the flowtrace span-finish hook.
+	// Like packets, a span allocated on another shard finishes into the
+	// releasing shard's recorder.
+	rec *flowtrace.Recorder
+
 	gets   int64 // packets handed out (Get + Clone)
 	puts   int64 // packets returned to this arena's free list
 	chunks int64 // chunk carves
 }
+
+// SetFlowRecorder attaches the shard's flowtrace recorder; traced packets
+// released here finish their spans into it. Without one, a traced
+// packet's span is silently dropped at release (untraced rigs never hit
+// this: samplers are only wired alongside recorders).
+func (a *Arena) SetFlowRecorder(r *flowtrace.Recorder) { a.rec = r }
 
 // NewArena creates an empty arena; the first Get carves a chunk.
 func NewArena() *Arena { return &Arena{} }
@@ -110,6 +126,12 @@ func (a *Arena) Release(p *Packet) {
 	if p.ref < 0 {
 		panic(fmt.Sprintf("netstack: packet released after free (flow %d, gen %d)", p.Flow, p.gen))
 	}
+	if p.Trace != nil {
+		if a != nil {
+			a.rec.Finish(p.Trace, p.Flow, int(p.Kind), p.Seq, int32(p.Src), int32(p.Dst))
+		}
+		p.Trace = nil
+	}
 	p.gen++
 	if a == nil {
 		return
@@ -122,17 +144,20 @@ func (a *Arena) Release(p *Packet) {
 // Clone acquires a fresh packet carrying src's public fields — the
 // dup-fault copy. On a nil arena it falls back to a heap copy with the
 // pool bookkeeping cleared, so a struct copy never aliases free-list
-// state.
+// state. The clone is untraced: a span belongs to exactly one packet
+// (one release finishes it), so the copy must not alias it.
 func (a *Arena) Clone(src *Packet) *Packet {
 	if a == nil {
 		cp := *src
 		cp.pooled, cp.ref, cp.gen, cp.next = false, 0, 0, nil
+		cp.Trace = nil
 		return &cp
 	}
 	p := a.Get()
 	pooled, ref, gen := p.pooled, p.ref, p.gen
 	*p = *src
 	p.pooled, p.ref, p.gen, p.next = pooled, ref, gen, nil
+	p.Trace = nil
 	return p
 }
 

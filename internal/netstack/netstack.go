@@ -9,6 +9,7 @@ package netstack
 
 import (
 	"softtimers/internal/faults"
+	"softtimers/internal/flowtrace"
 	"softtimers/internal/metrics"
 	"softtimers/internal/sim"
 )
@@ -64,6 +65,15 @@ type Packet struct {
 	// field keeps the hot path allocation-free).
 	Mark bool
 
+	// Trace is the packet's flowtrace span, nil unless the flow was
+	// sampled. The span rides the packet everywhere — across shards with
+	// it through the Courier (the round-barrier conduit flush is the
+	// happens-before edge) — and every hop site is a nil-receiver method
+	// call, so untraced packets pay one pointer test per hop. The owning
+	// arena finishes the span when the refcount drops to zero; dup-fault
+	// clones are untraced (Clone clears the field).
+	Trace *flowtrace.Span
+
 	// Arena bookkeeping (see arena.go). Zero for literal packets.
 	pooled bool
 	ref    int32
@@ -116,6 +126,10 @@ type Link struct {
 	// what makes sharded runs replay the single-engine event history
 	// exactly. NewLink sets -1: plain engine-event delivery.
 	ArrivalConduit int32
+
+	// TraceLoc is this link's flowtrace location id (0 = unregistered);
+	// topologies assign ids in assembly order when flow tracing is on.
+	TraceLoc int32
 
 	eng   *sim.Engine
 	bps   int64
@@ -218,6 +232,7 @@ func (d *delivery) run() {
 	if rel {
 		l.queued--
 	}
+	p.Trace.Hop(flowtrace.HopLinkRx, l.TraceLoc, l.eng.Now())
 	l.dst.Deliver(p)
 }
 
@@ -272,6 +287,7 @@ func (l *Link) Send(p *Packet) bool {
 	}
 	l.Sent++
 	l.Bytes += int64(p.Size)
+	p.Trace.Hop(flowtrace.HopLinkTx, l.TraceLoc, start)
 	if l.Faults != nil {
 		// Draw order is fixed (drop, then duplicate, then reorder) so a
 		// link's fault sequence depends only on its own packet order.

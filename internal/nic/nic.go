@@ -22,6 +22,7 @@ package nic
 import (
 	"softtimers/internal/core"
 	"softtimers/internal/faults"
+	"softtimers/internal/flowtrace"
 	"softtimers/internal/kernel"
 	"softtimers/internal/metrics"
 	"softtimers/internal/netstack"
@@ -125,6 +126,11 @@ type NIC struct {
 	// arena, when set, is where received packets are released after their
 	// handler runs (and on ring-fault drops).
 	arena *netstack.Arena
+
+	// TraceLoc is this interface's flowtrace location id (0 =
+	// unregistered); topologies assign ids in assembly order when flow
+	// tracing is on.
+	TraceLoc int32
 
 	rxring  []*netstack.Packet // arrived, not yet taken by intr/poll
 	protoq  []*netstack.Packet // taken by interrupts, awaiting softirq
@@ -235,6 +241,7 @@ func (n *NIC) Deliver(p *netstack.Packet) {
 		return
 	}
 	n.RxPackets++
+	p.Trace.Hop(flowtrace.HopNICRing, n.TraceLoc, n.k.Now())
 	n.rxring = append(n.rxring, p)
 	switch n.cfg.Mode {
 	case Interrupt:
@@ -330,6 +337,7 @@ func (c *protoChain) Run(i int) {
 	n := c.n
 	p := c.batch[i]
 	c.batch[i] = nil
+	p.Trace.Hop(flowtrace.HopNICRx, n.TraceLoc, n.k.Now())
 	if n.RxHandler != nil {
 		n.RxHandler(p)
 	}
@@ -427,10 +435,16 @@ func (n *NIC) TransmitRaw(p *netstack.Packet) { n.transmit(p) }
 // Cfg returns the NIC's effective configuration.
 func (n *NIC) Cfg() Config { return n.cfg }
 
+// QueueDepth returns the packets sitting in the rx ring plus the
+// protocol input queue — the instantaneous backlog, for time-series
+// sampling.
+func (n *NIC) QueueDepth() int { return len(n.rxring) + len(n.protoq) }
+
 // transmit puts a packet on the wire and schedules its completion.
 func (n *NIC) transmit(p *netstack.Packet) {
 	n.TxPackets++
 	p.SentAt = n.k.Now()
+	p.Trace.Hop(flowtrace.HopNICTx, n.TraceLoc, p.SentAt)
 	n.out.Deliver(p)
 	n.txdone++
 	if n.cfg.Mode == Interrupt && n.cfg.TxComplInterrupts {
@@ -468,6 +482,7 @@ func (n *NIC) poll(now sim.Time) sim.Time {
 			}
 			i++
 			cost += w
+			p.Trace.Hop(flowtrace.HopNICRx, n.TraceLoc, n.k.Now())
 			if n.RxHandler != nil {
 				n.RxHandler(p)
 			}

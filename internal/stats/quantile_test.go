@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// refQuantile is an independent reference for Histogram.Quantile: it keeps
+// the raw samples, quantizes each to its bucket, and answers quantile
+// queries from the sorted order statistics — target = q*n, the containing
+// bucket is the one holding the target-th sample, and the answer
+// interpolates linearly through that bucket's occupancy, exactly the
+// model the histogram's cumulative scan implements by counting.
+type refQuantile struct {
+	width   float64
+	nb      int
+	samples []float64
+}
+
+func (r *refQuantile) add(v float64) { r.samples = append(r.samples, v) }
+
+func (r *refQuantile) quantile(q float64) float64 {
+	n := len(r.samples)
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	buckets := make([]int, n)
+	for i, v := range r.samples {
+		if v < 0 {
+			v = 0
+		}
+		idx := int(v / r.width)
+		if idx > r.nb { // overflow sentinel sorts last
+			idx = r.nb
+		}
+		buckets[i] = idx
+	}
+	sort.Ints(buckets)
+	target := q * float64(n)
+	// The sample index holding the target: ceil(target)-1, floored at 0.
+	k := int(math.Ceil(target)) - 1
+	if k < 0 {
+		k = 0
+	}
+	b := buckets[k]
+	if b >= r.nb {
+		return r.width * float64(r.nb) // overflowed mass reports the bound
+	}
+	below := sort.SearchInts(buckets, b)                 // samples in buckets < b
+	count := sort.SearchInts(buckets, b+1) - below       // samples in bucket b
+	within := (target - float64(below)) / float64(count) // fraction through b
+	if within < 0 {
+		within = 0
+	}
+	return (float64(b) + within) * r.width
+}
+
+// The interpolation contract, checked against the reference on samples at
+// and around log-spaced bucket edges — the distribution shape the trigger
+// -interval and delay histograms actually hold, where most mass piles
+// into the low buckets and the tail is sparse (so an off-by-one in the
+// cumulative scan shifts answers by whole buckets, not epsilons).
+func TestQuantileMatchesReferenceOnLogSpacedEdges(t *testing.T) {
+	const width, nbuckets = 2.0, 1024
+	h := NewHistogram(width, nbuckets)
+	ref := &refQuantile{width: width, nb: nbuckets}
+	// Log-spaced edges e = width * 2^k, sampled exactly at the edge, just
+	// below it, and just above it, with geometrically decaying repetition
+	// (heavier mass at the small edges).
+	for k := 0; k <= 9; k++ {
+		edge := width * math.Pow(2, float64(k))
+		reps := 1 << (9 - k)
+		for r := 0; r < reps; r++ {
+			for _, v := range []float64{edge, edge - width/3, edge + width/3} {
+				h.Add(v)
+				ref.add(v)
+			}
+		}
+	}
+	qs := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1}
+	// Quantiles exactly at cumulative bucket boundaries are the
+	// interpolation's corner cases; probe them too.
+	n := float64(h.N())
+	var cum int64
+	for i := 0; i < h.NumBuckets(); i++ {
+		if c := h.Bucket(i); c > 0 {
+			qs = append(qs, float64(cum)/n, float64(cum+c)/n)
+			cum += c
+		}
+	}
+	for _, q := range qs {
+		got, want := h.Quantile(q), ref.quantile(q)
+		if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("Quantile(%v) = %v, reference says %v", q, got, want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram(1, 10)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must answer 0")
+	}
+	h.Add(3.5)
+	// One sample: every quantile lands in its bucket.
+	for _, q := range []float64{0, 0.5, 1, -1, 2} {
+		if got := h.Quantile(q); got < 3 || got > 4 {
+			t.Fatalf("Quantile(%v) = %v, want within [3,4]", q, got)
+		}
+	}
+	// Overflowed mass reports the histogram's upper bound.
+	o := NewHistogram(1, 4)
+	o.Add(100)
+	if got := o.Quantile(1); got != 4 {
+		t.Fatalf("overflow quantile %v, want the bound 4", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"softtimers/internal/flowtrace"
 	"softtimers/internal/metrics"
 	"softtimers/internal/netstack"
 	"softtimers/internal/sim"
@@ -121,6 +122,14 @@ type Sender struct {
 	// Hosts wire their engine-local arena here.
 	Arena *netstack.Arena
 
+	// FlowTrace, when set, samples this flow at Start (one decision per
+	// connection from the host's private tracing stream) and supplies the
+	// span for every transmitted segment; TraceLoc labels the endpoint's
+	// hops. Nil leaves the flow untraced at zero cost.
+	FlowTrace *flowtrace.Sampler
+	TraceLoc  int32
+	traced    bool
+
 	burst []*netstack.Packet // scratch transmit buffer, reused per pump
 	one   [1]*netstack.Packet
 }
@@ -154,6 +163,7 @@ func (s *Sender) Start() {
 		return
 	}
 	s.started = true
+	s.traced = s.FlowTrace.SampleFlow()
 	if s.paced {
 		return
 	}
@@ -202,6 +212,10 @@ func (s *Sender) makeSegment() *netstack.Packet {
 	p.Size = s.cfg.WireSize(payload)
 	p.Payload = payload
 	p.SentAt = s.env.Now()
+	if s.traced {
+		p.Trace = s.FlowTrace.StartSpan()
+		p.Trace.Hop(flowtrace.HopTCP, s.TraceLoc, p.SentAt)
+	}
 	s.nextSeq++
 	s.SegmentsSent++
 	return p
@@ -227,6 +241,7 @@ func (s *Sender) send(burst []*netstack.Packet) {
 // BSD behaviour) and transmit newly eligible segments.
 func (s *Sender) HandleAck(p *netstack.Packet) {
 	s.AcksSeen++
+	p.Trace.Hop(flowtrace.HopTCP, s.TraceLoc, s.env.Now())
 	covered := p.AckSeq - s.ackedTo
 	if p.AckSeq > s.ackedTo {
 		s.ackedTo = p.AckSeq
@@ -335,6 +350,14 @@ type Receiver struct {
 	// Arena, when set, supplies ACK packets (see Sender.Arena).
 	Arena *netstack.Arena
 
+	// FlowTrace, when set, lets the receiver's ACKs join a traced flow:
+	// the first traced data segment marks the connection, and every ACK
+	// after that carries its own span (allocated from this host's
+	// sampler). TraceLoc labels the receiver's hops.
+	FlowTrace *flowtrace.Sampler
+	TraceLoc  int32
+	traced    bool
+
 	one [1]*netstack.Packet // scratch transmit buffer
 }
 
@@ -359,6 +382,10 @@ func (r *Receiver) Received() int64 { return r.received }
 // HandleData processes an arriving data segment.
 func (r *Receiver) HandleData(p *netstack.Packet) {
 	r.received++
+	p.Trace.Hop(flowtrace.HopTCP, r.TraceLoc, r.env.Now())
+	if p.Trace != nil {
+		r.traced = true
+	}
 	if r.OnData != nil {
 		r.OnData(p)
 	}
@@ -397,6 +424,10 @@ func (r *Receiver) sendAck(fromTimer bool) {
 	p.AckSeq = r.ackedTo
 	p.Size = r.cfg.WireSize(0)
 	p.SentAt = r.env.Now()
+	if r.traced && r.FlowTrace != nil {
+		p.Trace = r.FlowTrace.StartSpan()
+		p.Trace.Hop(flowtrace.HopTCP, r.TraceLoc, p.SentAt)
+	}
 	r.one[0] = p
 	r.env.Transmit(r.one[:])
 	r.one[0] = nil

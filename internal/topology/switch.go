@@ -3,6 +3,7 @@ package topology
 import (
 	"fmt"
 
+	"softtimers/internal/flowtrace"
 	"softtimers/internal/metrics"
 	"softtimers/internal/netstack"
 	"softtimers/internal/sim"
@@ -34,6 +35,9 @@ type Switch struct {
 	// count as forwarded, and skip the shard-ownership check (their
 	// destination lives behind the trunk, not on a member port).
 	Default netstack.Endpoint
+
+	// TraceLoc is the switch's flowtrace location id (0 = unregistered).
+	TraceLoc int32
 
 	table   map[netstack.Addr]netstack.Endpoint
 	shardOf map[netstack.Addr]int // populated only in sharded topologies
@@ -120,6 +124,9 @@ func (s *Switch) Misses() int64 {
 func (s *Switch) Deliver(p *netstack.Packet) { s.deliverOn(0, p) }
 
 func (s *Switch) deliverOn(shard int, p *netstack.Packet) {
+	// Cut-through forwarding runs synchronously inside the link arrival
+	// that carried the packet in, so the switch hop shares its instant.
+	p.Trace.HopHere(flowtrace.HopSwitch, s.TraceLoc)
 	port, ok := s.table[p.Dst]
 	if !ok {
 		if s.Default != nil {

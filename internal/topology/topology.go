@@ -22,6 +22,7 @@ import (
 	"io"
 
 	"softtimers/internal/faults"
+	"softtimers/internal/flowtrace"
 	"softtimers/internal/host"
 	"softtimers/internal/metrics"
 	"softtimers/internal/netstack"
@@ -60,6 +61,10 @@ type Topology struct {
 	routers  []*Router
 	fabrics  []*Fabric
 	tracers  []*trace.Buffer // per host, when tracing is enabled
+
+	flow      *FlowTrace   // flow-span tracing, when enabled
+	series    []*seriesRec // per-host series, when enabled
+	seriesIvl sim.Time
 }
 
 // New creates an empty topology on eng.
@@ -300,6 +305,11 @@ type courier struct {
 	sw  *Switch
 	src int
 	con *sim.Conduit
+	// loc is the shipping down link's flowtrace location id, so the
+	// cross-shard path records the same LinkRx + SwitchFwd hop pair the
+	// local delivery path would (the closure bypasses delivery.run and
+	// Switch.deliverOn).
+	loc int32
 }
 
 // Ship implements netstack.Courier.
@@ -313,7 +323,10 @@ func (c *courier) Ship(p *netstack.Packet, at sim.Time, conduit int32, seq uint6
 		return false
 	}
 	sw := c.sw
+	loc := c.loc
 	c.con.Send(dst, at, seq, func() {
+		p.Trace.Hop(flowtrace.HopLinkRx, loc, at)
+		p.Trace.HopHere(flowtrace.HopSwitch, sw.TraceLoc)
 		sw.fwd[dst]++
 		port.Deliver(p)
 	})
@@ -348,6 +361,7 @@ func (t *Topology) Start() {
 	for _, h := range t.hosts {
 		h.Start()
 	}
+	t.startSeries()
 }
 
 // RunFor advances the whole topology by d: the shard group under
@@ -366,6 +380,15 @@ func (t *Topology) Now() sim.Time {
 		return t.group.Now()
 	}
 	return t.Eng.Now()
+}
+
+// Fired returns total events fired across the topology's engines — the
+// same mode-invariant sum Snapshot reports as sim.events_fired.
+func (t *Topology) Fired() uint64 {
+	if t.group != nil {
+		return t.group.TotalFired()
+	}
+	return t.Eng.Fired
 }
 
 // EnableTracing attaches an execution trace buffer of the given capacity
@@ -402,7 +425,12 @@ func (t *Topology) WriteChrome(w io.Writer) error {
 	for i, h := range t.hosts {
 		procs[i] = trace.Proc{Name: "host." + h.Name, PID: i + 1, Buf: t.tracers[i]}
 	}
-	return trace.WriteChromeProcs(w, procs)
+	var flows []trace.FlowEvent
+	if t.flow != nil {
+		// Overlay traced packet journeys as flow arrows between host rows.
+		flows = t.flow.FlowEvents()
+	}
+	return trace.WriteChromeProcsFlows(w, procs, flows)
 }
 
 // Snapshot captures every host's telemetry under a host.<name>. prefix and
@@ -449,6 +477,14 @@ func (t *Topology) Snapshot() *metrics.Snapshot {
 			out.Counters["link."+f.Down[j].Name+".sent"] = f.Down[j].Sent
 			out.Counters["link."+f.Down[j].Name+".bytes"] = f.Down[j].Bytes
 		}
+	}
+	if t.flow != nil {
+		// Shard-summed, so mode-invariant like the rest of the snapshot.
+		out.Counters["flowtrace.spans_started"] = t.flow.Started()
+		out.Counters["flowtrace.spans_finished"] = t.flow.Finished()
+		out.Counters["flowtrace.hops"] = t.flow.HopCount()
+		out.Counters["flowtrace.dropped_hops"] = t.flow.DroppedHops()
+		out.Counters["flowtrace.sampled_flows"] = t.flow.SampledFlows()
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"strconv"
 
 	"softtimers/internal/sim"
 )
@@ -19,6 +20,12 @@ type chromeEvent struct {
 	TID   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
+	// Flow-event fields (ph "s"/"f"): binding id, category, and binding
+	// point. Tagged omitempty and placed last so traces without flow events
+	// keep their historical bytes.
+	ID  string `json:"id,omitempty"`
+	Cat string `json:"cat,omitempty"`
+	BP  string `json:"bp,omitempty"`
 }
 
 // chromeTrace is the top-level JSON object.
@@ -61,9 +68,43 @@ type Proc struct {
 // process row per Proc, in slice order. A single Proc named "softtimers"
 // with PID 1 produces byte-identical output to Buffer.WriteChrome.
 func WriteChromeProcs(w io.Writer, procs []Proc) error {
+	return WriteChromeProcsFlows(w, procs, nil)
+}
+
+// FlowEvent is one packet-flow arrow overlaid on a multi-process trace: a
+// "s" (flow start) event anchored at (StartPID, StartTS) bound by id to an
+// "f" (flow finish) event at (EndPID, EndTS). Viewers draw it as an arrow
+// across process rows — here, a traced packet's journey between hosts.
+type FlowEvent struct {
+	Name     string
+	ID       uint64
+	Cat      string
+	StartTS  float64 // microseconds
+	EndTS    float64
+	StartPID int
+	EndPID   int
+}
+
+// WriteChromeProcsFlows writes procs exactly as WriteChromeProcs and then
+// appends flow start/finish event pairs in slice order. With nil flows the
+// output is byte-identical to WriteChromeProcs.
+func WriteChromeProcsFlows(w io.Writer, procs []Proc, flows []FlowEvent) error {
 	var out []chromeEvent
 	for _, p := range procs {
 		out = append(out, chromeProcEvents(p)...)
+	}
+	for _, f := range flows {
+		id := "0x" + strconv.FormatUint(f.ID, 16)
+		out = append(out,
+			chromeEvent{
+				Name: f.Name, Phase: "s", TS: f.StartTS,
+				PID: f.StartPID, TID: cpuTID, ID: id, Cat: f.Cat,
+			},
+			chromeEvent{
+				Name: f.Name, Phase: "f", TS: f.EndTS,
+				PID: f.EndPID, TID: cpuTID, ID: id, Cat: f.Cat, BP: "e",
+			},
+		)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
