@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench cover metrics-smoke trace-smoke series-smoke fuzz-smoke scenario-smoke shard-smoke stbench clean
+.PHONY: all check vet build test race bench cover metrics-smoke trace-smoke series-smoke fuzz-smoke scenario-smoke shard-smoke queue-smoke stbench clean
 
 # Per-target budget for the fuzz smoke (CI passes a longer one).
 FUZZTIME ?= 30s
@@ -16,7 +16,7 @@ vet:
 build:
 	$(GO) build ./...
 
-test: metrics-smoke trace-smoke series-smoke
+test: metrics-smoke trace-smoke series-smoke queue-smoke
 	$(GO) test -shuffle=on ./...
 
 # The engine pool, the parallel experiment runner, and the sharded
@@ -33,7 +33,8 @@ race:
 # regression fails the target before any numbers are printed.
 bench:
 	$(GO) test -run 'TestTestbedPacketZeroAlloc' -count=1 ./internal/topology
-	$(GO) test -bench 'BenchmarkEngine' -benchmem -run '^$$' ./internal/sim
+	$(GO) test -run 'TestEngineZeroAlloc' -count=1 ./internal/sim
+	$(GO) test -bench 'BenchmarkEngine|BenchmarkReschedule|BenchmarkQueueChurn' -benchmem -run '^$$' ./internal/sim
 	$(GO) test -bench 'BenchmarkMetrics' -benchmem -run '^$$' ./internal/metrics
 	$(GO) test -bench 'BenchmarkTestbedPacket|BenchmarkSwitchForward' -benchmem -run '^$$' ./internal/topology
 	$(GO) test -bench 'BenchmarkTCPSegment|BenchmarkTCPAck' -benchmem -run '^$$' ./internal/tcp
@@ -76,6 +77,7 @@ series-smoke:
 fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzKindRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzChromeWriter$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzEventQueueOps$$' -fuzztime $(FUZZTIME)
 
 # Degradation smoke: the fault-injection summary under the nastiest named
 # scenario, exercising the -scenario path end to end.
@@ -96,6 +98,19 @@ shard-smoke:
 	$(GO) run ./cmd/stbench -exp fleet-trace -scale smoke -shards 4 -metrics /tmp/stbench-trace4.json -series /tmp/stbench-tseries4.json >/dev/null
 	diff /tmp/stbench-trace1.json /tmp/stbench-trace4.json
 	diff /tmp/stbench-tseries1.json /tmp/stbench-tseries4.json
+
+# Queue-backend smoke: the churn-heavy hierarchical fleet must dump
+# byte-identical telemetry on every engine event-queue backend (the
+# differential contract, end to end through stbench -queue; the heap run
+# is the reference).
+queue-smoke:
+	$(GO) run ./cmd/stbench -exp fleet-hier -scale smoke -queue heap -metrics /tmp/stbench-queue-heap.json >/dev/null
+	$(GO) run ./cmd/stbench -exp fleet-hier -scale smoke -queue wheel -metrics /tmp/stbench-queue-wheel.json >/dev/null
+	diff /tmp/stbench-queue-heap.json /tmp/stbench-queue-wheel.json
+	$(GO) run ./cmd/stbench -exp fleet-hier -scale smoke -queue hier -metrics /tmp/stbench-queue-hier.json >/dev/null
+	diff /tmp/stbench-queue-heap.json /tmp/stbench-queue-hier.json
+	$(GO) run ./cmd/stbench -exp fleet-hier -scale smoke -queue ffs -metrics /tmp/stbench-queue-ffs.json >/dev/null
+	diff /tmp/stbench-queue-heap.json /tmp/stbench-queue-ffs.json
 
 stbench:
 	$(GO) build -o stbench ./cmd/stbench

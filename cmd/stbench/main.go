@@ -15,6 +15,8 @@
 //	                               # fault-injection scenario
 //	stbench -exp fleet-scale -shards 4  # fleet rows on 4 conservative-sync
 //	                                    # engines (tables/telemetry unchanged)
+//	stbench -exp fleet-hier -queue ffs  # fleet rows on an alternate engine
+//	                                    # event-queue backend (output unchanged)
 //	stbench -exp fleet-trace -series s.json  # virtual-time series dump
 //	stbench -exp fleet-hier -progress  # periodic progress lines on stderr
 //
@@ -76,6 +78,8 @@ func main() {
 		"worker count for independent experiments and sweep rows (1 = fully serial)")
 	shards := flag.Int("shards", 0,
 		"engines per fleet-scale row under conservative-sync sharding (0 = legacy single engine; output unchanged)")
+	queue := flag.String("queue", "heap",
+		"engine event-queue backend for fleet experiments: heap, wheel, hier or ffs (output unchanged)")
 	jsonPath := flag.String("json", "", "also write a machine-readable results record to this file")
 	metricsPath := flag.String("metrics", "",
 		"write each experiment's full telemetry snapshot (JSON, deterministic at any -parallel) to this file")
@@ -137,6 +141,12 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Shards = *shards
+	qk, err := sim.ParseQueueKind(*queue)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
+		os.Exit(2)
+	}
+	sc.Queue = qk
 	if *progress {
 		sc.Progress = progressPrinter(*jsonPath != "")
 	}

@@ -50,6 +50,11 @@ type Options struct {
 	// Hierarchical selects the hierarchical wheel variant instead of the
 	// hashed wheel (used by the timer-structure ablation benchmark).
 	Hierarchical bool
+	// LegacyRearm forces Pacer/MultiPacer to rearm by cancel+insert with a
+	// fresh event per period instead of reviving their handle in place
+	// (Event.Rearm) — the pre-reschedule baseline, kept selectable so the
+	// regression tests can diff the two paths' telemetry byte for byte.
+	LegacyRearm bool
 }
 
 // Facility is the soft-timer facility, installed as a kernel TriggerSink.
@@ -80,6 +85,8 @@ type Facility struct {
 	// kernel's metrics registry as softtimer.delay_us.
 	DelayHist *stats.Histogram
 
+	legacyRearm bool
+
 	// firing guards against re-entrant Trigger during handler execution;
 	// currentSrc and pendingCost carry context between Trigger and the
 	// wheel callbacks it fires (single-threaded, so fields suffice).
@@ -105,10 +112,11 @@ func New(k *kernel.Kernel, opts Options) *Facility {
 		tickDur = 1
 	}
 	f := &Facility{
-		k:         k,
-		tickDur:   tickDur,
-		hz:        opts.MeasureHz,
-		DelayHist: stats.NewHistogram(1, 2000),
+		k:           k,
+		tickDur:     tickDur,
+		hz:          opts.MeasureHz,
+		legacyRearm: opts.LegacyRearm,
+		DelayHist:   stats.NewHistogram(1, 2000),
 	}
 	if opts.Hierarchical {
 		f.wheel = timerwheel.NewHierarchical()
@@ -181,6 +189,42 @@ func (ev *Event) Cancel() bool {
 
 // Pending reports whether the event has yet to fire.
 func (ev *Event) Pending() bool { return ev.t.Pending() }
+
+// Rearm schedules the event to fire again at least T measurement-clock
+// ticks from now, reusing the handle, the handler, and the wheel node — no
+// allocation in either state. A still-pending event migrates between wheel
+// slots in place (Timer.Reschedule); a fired or canceled one has its node
+// revived (Timer.Rearm). This is the rate-based-pacing primitive: Section
+// 4.1's transmission events constantly move their own deadline, and paying
+// cancel+insert (or a fresh event) per packet is pure queue overhead.
+//
+// Telemetry parity with the two-step baseline is exact: a pending rearm
+// counts one cancellation plus one schedule, a fired rearm counts one
+// schedule, and the wheel node lands in the same slot position a freshly
+// scheduled timer would — so runs rearming in place and runs on
+// Options.LegacyRearm produce byte-identical counters and traces.
+func (ev *Event) Rearm(T uint64) {
+	f := ev.f
+	if ev.pooled {
+		panic("core: rearm of a pooled event (pooled events have no handle)")
+	}
+	if ev.t.Pending() {
+		f.canceled.Inc()
+	}
+	f.scheduled.Inc()
+	now := f.MeasureTime()
+	ev.sched, ev.T = now, T
+	deadline := now + T + 1
+	if !ev.t.Reschedule(deadline) {
+		ev.t.Rearm(deadline, nil) // fired/canceled node: revive with its handler
+	}
+	f.k.NudgeIdle()
+}
+
+// RearmAfter is Rearm with a simulated-time latency, mirroring ScheduleAfter.
+func (ev *Event) RearmAfter(d sim.Time) {
+	ev.Rearm(uint64(d / ev.f.tickDur))
+}
 
 // ScheduleSoftEvent schedules h to be called at least T measurement-clock
 // ticks in the future. The handler runs at the first trigger state after

@@ -125,22 +125,32 @@ func (m *MultiPacer) earliest() (sim.Time, bool) {
 	return min, found
 }
 
-// rearm (re)schedules the single pending soft event for the earliest
-// deadline. Canceling and rescheduling on flow changes keeps exactly one
-// event outstanding.
+// rearm (re)schedules the single soft event for the earliest deadline,
+// keeping exactly one outstanding. The steady-state path moves the
+// existing event in place (Event.Rearm: a pending handle migrates wheel
+// slots, a just-fired one is revived) instead of cancel+insert with a
+// fresh event per deadline change; Options.LegacyRearm keeps the two-step
+// baseline for the telemetry-equivalence regression tests.
 func (m *MultiPacer) rearm() {
-	if m.ev != nil {
-		m.ev.Cancel()
-		m.ev = nil
-	}
 	deadline, ok := m.earliest()
 	if !ok {
+		if m.ev != nil {
+			m.ev.Cancel()
+			m.ev = nil
+		}
 		return
 	}
 	now := m.f.k.Now()
 	d := deadline - now
 	if d < 0 {
 		d = 0
+	}
+	if m.ev != nil && !m.f.legacyRearm {
+		m.ev.RearmAfter(d)
+		return
+	}
+	if m.ev != nil {
+		m.ev.Cancel()
 	}
 	m.ev = m.f.ScheduleAfter(d, m.fire)
 }
@@ -181,7 +191,8 @@ func (m *MultiPacer) fire(now sim.Time) sim.Time {
 			fl.next = now + fl.target
 		}
 	}
-	m.ev = nil
+	// m.ev just fired but the handle is kept: rearm revives its node in
+	// place (the legacy path's Cancel of the fired handle is a no-op).
 	m.rearm()
 	return cost
 }

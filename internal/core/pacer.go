@@ -97,7 +97,16 @@ func (p *Pacer) Running() bool { return p.running }
 // Sent returns the number of packets transmitted in the current train.
 func (p *Pacer) Sent() int64 { return p.sent }
 
+// schedule arms the next transmission event. The steady-state path revives
+// the just-fired handle in place (Event.Rearm) — one wheel-node migration,
+// zero allocations per packet — instead of minting a fresh event each
+// period; Options.LegacyRearm keeps the old alloc-per-packet path for the
+// telemetry-equivalence regression tests.
 func (p *Pacer) schedule(interval sim.Time) {
+	if p.ev != nil && !p.f.legacyRearm {
+		p.ev.RearmAfter(interval)
+		return
+	}
 	p.ev = p.f.ScheduleAfter(interval, p.fire)
 }
 

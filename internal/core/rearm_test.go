@@ -1,0 +1,131 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"softtimers/internal/cpu"
+	"softtimers/internal/kernel"
+	"softtimers/internal/sim"
+)
+
+// The rearm-equivalence contract: Pacer and MultiPacer rearming their
+// handle in place (Event.Rearm) must produce exactly the telemetry the
+// cancel+insert baseline (Options.LegacyRearm) produces — every counter,
+// gauge, and histogram bucket, byte for byte. A pending rearm counts one
+// cancel plus one schedule; a fired rearm counts one schedule; the wheel
+// node lands in the slot position a fresh insert would take.
+
+// rearmSnapshot runs one pacing workload and returns the kernel's full
+// metrics snapshot as canonical JSON.
+func rearmSnapshot(t *testing.T, legacy bool, drive func(eng *sim.Engine, f *Facility)) []byte {
+	t.Helper()
+	eng := sim.NewEngine(7)
+	k := kernel.New(eng, cpu.PentiumII300(), kernel.Options{IdleLoop: true})
+	f := New(k, Options{LegacyRearm: legacy})
+	k.Start()
+	drive(eng, f)
+	b, err := json.Marshal(k.Metrics().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestPacerRearmMatchesLegacyTelemetry(t *testing.T) {
+	drive := func(eng *sim.Engine, f *Facility) {
+		sent := 0
+		p := NewPacer(f, 40*sim.Microsecond, 12*sim.Microsecond,
+			func(now sim.Time) (sim.Time, bool) {
+				sent++
+				return sim.Microsecond, sent < 2000
+			})
+		p.Start()
+		eng.RunFor(200 * sim.Millisecond)
+		if sent != 2000 {
+			t.Fatalf("sent %d of 2000", sent)
+		}
+		// Restart after the train ends: the in-place path revives the fired
+		// handle where the legacy path schedules a fresh event.
+		sent = 0
+		p.Start()
+		eng.RunFor(200 * sim.Millisecond)
+		if sent != 2000 {
+			t.Fatalf("second train sent %d of 2000", sent)
+		}
+	}
+	inPlace := rearmSnapshot(t, false, drive)
+	legacy := rearmSnapshot(t, true, drive)
+	if string(inPlace) != string(legacy) {
+		t.Fatalf("pacer telemetry diverged between in-place rearm (%d bytes) and cancel+insert (%d bytes)",
+			len(inPlace), len(legacy))
+	}
+}
+
+func TestMultiPacerRearmMatchesLegacyTelemetry(t *testing.T) {
+	drive := func(eng *sim.Engine, f *Facility) {
+		m := NewMultiPacer(f)
+		sent := map[int]int{}
+		mk := func(id, limit int) func(sim.Time) (sim.Time, bool) {
+			return func(sim.Time) (sim.Time, bool) {
+				sent[id]++
+				return sim.Microsecond, sent[id] < limit
+			}
+		}
+		// Staggered flows: adds and removals constantly move the earliest
+		// deadline, so the shared event rearms in both directions (earlier
+		// and later) and empties out mid-run before flow 3 revives it.
+		m.AddFlow(1, 40*sim.Microsecond, 12*sim.Microsecond, mk(1, 1500))
+		m.AddFlow(2, 100*sim.Microsecond, 12*sim.Microsecond, mk(2, 400))
+		eng.RunFor(100 * sim.Millisecond)
+		m.AddFlow(3, 60*sim.Microsecond, 12*sim.Microsecond, mk(3, 700))
+		eng.RunFor(100 * sim.Millisecond)
+		if sent[1] != 1500 || sent[2] != 400 || sent[3] != 700 {
+			t.Fatalf("sent = %v, want all trains complete", sent)
+		}
+		if m.Flows() != 0 {
+			t.Fatalf("flows remaining = %d", m.Flows())
+		}
+	}
+	inPlace := rearmSnapshot(t, false, drive)
+	legacy := rearmSnapshot(t, true, drive)
+	if string(inPlace) != string(legacy) {
+		t.Fatalf("multipacer telemetry diverged between in-place rearm (%d bytes) and cancel+insert (%d bytes)",
+			len(inPlace), len(legacy))
+	}
+}
+
+// Event.Rearm's counter contract directly: a pending rearm is one cancel
+// plus one schedule; a fired rearm is one schedule only — the exact
+// accounting a cancel+insert (or fresh schedule) would produce.
+func TestEventRearmCounterParity(t *testing.T) {
+	eng, k, f := newRig(kernel.Options{IdleLoop: true}, Options{})
+	k.Start()
+	ev := f.ScheduleSoftEvent(50, func(sim.Time) sim.Time { return 0 })
+	s0 := f.Stats()
+	ev.Rearm(80) // pending: cancel + schedule
+	s1 := f.Stats()
+	if s1.Canceled != s0.Canceled+1 || s1.Scheduled != s0.Scheduled+1 {
+		t.Fatalf("pending rearm: canceled %d->%d scheduled %d->%d, want +1/+1",
+			s0.Canceled, s1.Canceled, s0.Scheduled, s1.Scheduled)
+	}
+	eng.RunFor(sim.Millisecond)
+	if ev.Pending() {
+		t.Fatal("event did not fire")
+	}
+	s2 := f.Stats()
+	ev.Rearm(30) // fired: schedule only
+	s3 := f.Stats()
+	if s3.Canceled != s2.Canceled || s3.Scheduled != s2.Scheduled+1 {
+		t.Fatalf("fired rearm: canceled %d->%d scheduled %d->%d, want +0/+1",
+			s2.Canceled, s3.Canceled, s2.Scheduled, s3.Scheduled)
+	}
+	if !ev.Pending() {
+		t.Fatal("fired event not pending after rearm")
+	}
+	fired := s3.Fired
+	eng.RunFor(sim.Millisecond)
+	if got := f.Stats().Fired; got != fired+1 {
+		t.Fatalf("revived event fired %d times, want 1", got-fired)
+	}
+}

@@ -50,6 +50,13 @@ type Scale struct {
 	// FleetCounts overrides the fleet-scale client-count sweep (nil uses
 	// the default 1..64 doubling).
 	FleetCounts []int
+	// Queue selects the engine event-queue backend for the fleet
+	// experiments (stbench -queue). The zero value is the default binary
+	// heap. Like Shards/Workers, the choice is invisible in results —
+	// every backend pops events in identical order, so telemetry, tables
+	// and traces are byte-identical (make queue-smoke asserts it) — it
+	// only moves queue-maintenance cost.
+	Queue sim.QueueKind
 	// Progress, when non-nil, receives periodic callbacks from
 	// long-running drivers: a row label, the row's virtual clock, and
 	// engine events fired so far. Drivers chunk their measurement runs to

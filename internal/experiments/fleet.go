@@ -118,7 +118,7 @@ func runFleetOpts(sc Scale, salt uint64, n, traceCap int) (FleetRow, *metrics.Sn
 		if shards > n+1 {
 			shards = n + 1
 		}
-		g := sim.NewShardGroup(shards, seed)
+		g := sim.NewShardGroupWithQueue(shards, seed, sc.Queue)
 		g.Workers = sc.Workers
 		t = topology.NewSharded(g, seed)
 		t.Assign = func(i int, name string) int {
@@ -128,7 +128,7 @@ func runFleetOpts(sc Scale, salt uint64, n, traceCap int) (FleetRow, *metrics.Sn
 			return 1 + (i-1)%(shards-1)
 		}
 	} else {
-		t = topology.New(sim.NewEngine(seed))
+		t = topology.New(sim.NewEngineWithQueue(seed, sc.Queue))
 		t.SetSeed(seed)
 	}
 

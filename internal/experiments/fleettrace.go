@@ -108,14 +108,14 @@ func runFleetTrace(sc Scale, salt uint64, n int, withChrome bool) fleetTraceRun 
 		if shards > leaves {
 			shards = leaves
 		}
-		g := sim.NewShardGroup(shards, seed)
+		g := sim.NewShardGroupWithQueue(shards, seed, sc.Queue)
 		g.Workers = sc.Workers
 		t = topology.NewSharded(g, seed)
 		t.Assign = func(i int, name string) int {
 			return (i % leaves) % shards
 		}
 	} else {
-		t = topology.New(sim.NewEngine(seed))
+		t = topology.New(sim.NewEngineWithQueue(seed, sc.Queue))
 		t.SetSeed(seed)
 	}
 

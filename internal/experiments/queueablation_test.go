@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"softtimers/internal/sim"
+)
+
+// The fleet-level differential oracle for the engine queue backends: the
+// churn-heavy hierarchical fleet — clients constantly scheduling,
+// canceling, and rearming timers through connection churn, with the fault
+// plan's split-seed streams driving jitter — must emit byte-identical
+// merged telemetry on every backend at every shard count. The binary heap
+// on the legacy single engine (shards=0) is the reference; hashed wheel,
+// hierarchical wheel, and FFS-bitmap queue at shards 0, 1, and 4 must all
+// reproduce it exactly.
+func TestQueueBackendsMatchHeapTelemetry(t *testing.T) {
+	const n, salt = 6, 777
+	run := func(kind sim.QueueKind, shards int) (FleetHierRow, []byte) {
+		sc := tinyScale()
+		sc.Queue = kind
+		sc.Shards = shards
+		row, snap := runFleetHier(sc, salt, n)
+		row.WallMS = 0 // real time, the one legitimately mode-dependent field
+		sj, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return row, sj
+	}
+	refRow, refSnap := run(sim.QueueHeap, 0)
+	if refRow.Completed == 0 || refRow.Churns == 0 {
+		t.Fatalf("reference row is degenerate: %+v", refRow)
+	}
+	for _, kind := range sim.QueueKinds() {
+		for _, shards := range []int{0, 1, 4} {
+			if kind == sim.QueueHeap && shards == 0 {
+				continue // the reference itself
+			}
+			kind, shards := kind, shards
+			t.Run(fmt.Sprintf("%s/shards=%d", kind, shards), func(t *testing.T) {
+				row, snap := run(kind, shards)
+				if row != refRow {
+					t.Errorf("row diverged from heap reference:\n got %+v\nwant %+v", row, refRow)
+				}
+				if !bytes.Equal(snap, refSnap) {
+					t.Errorf("merged telemetry diverged from heap reference (%d vs %d bytes)",
+						len(snap), len(refSnap))
+				}
+			})
+		}
+	}
+}
+
+// The ablation driver end to end: four rows, heap first, telemetry equal
+// on every backend, and the wall-clock metrics present for the perf
+// trajectory.
+func TestQueueAblationRowsAgree(t *testing.T) {
+	sc := tinyScale()
+	sc.FleetCounts = []int{4}
+	res := RunQueueAblation(sc)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 backends", len(res.Rows))
+	}
+	if res.Rows[0].Backend != "heap" {
+		t.Fatalf("first row = %q, heap must be the reference", res.Rows[0].Backend)
+	}
+	ref := res.Rows[0]
+	if ref.Completed == 0 || ref.Churns == 0 {
+		t.Fatalf("reference row is degenerate: %+v", ref)
+	}
+	for _, row := range res.Rows {
+		if !row.TelemetryEq {
+			t.Errorf("%s: telemetry diverged from heap", row.Backend)
+		}
+		if row.Throughput != ref.Throughput || row.Completed != ref.Completed ||
+			row.Churns != ref.Churns || row.WorstDelay != ref.WorstDelay {
+			t.Errorf("%s row diverged: %+v vs %+v", row.Backend, row, ref)
+		}
+		if !row.BoundOK {
+			t.Errorf("%s: §3 delay bound violated", row.Backend)
+		}
+	}
+	tab := res.Table()
+	for _, kind := range sim.QueueKinds() {
+		key := "queue_" + kind.String() + "_wall_ms"
+		if _, ok := tab.Metrics[key]; !ok {
+			t.Errorf("table missing metric %s", key)
+		}
+		if eq := tab.Metrics["queue_"+kind.String()+"_telemetry_eq"]; eq != 1 {
+			t.Errorf("table reports telemetry_eq=%v for %s", eq, kind)
+		}
+	}
+	_ = tab.Render()
+}

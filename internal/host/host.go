@@ -195,7 +195,7 @@ func (e *TCPEnv) Now() sim.Time { return e.H.K.Now() }
 
 // After implements tcp.Env (protocol timers; exact, engine-scheduled).
 func (e *TCPEnv) After(d sim.Time, fn func()) tcp.Canceler {
-	return tcpCanceler{e.H.Engine().After(d, fn)}
+	return &tcpCanceler{e.H.Engine().After(d, fn)}
 }
 
 // Transmit implements tcp.Env: packets leave via the NIC's kernel path.
@@ -203,7 +203,13 @@ func (e *TCPEnv) Transmit(pkts []*netstack.Packet) {
 	e.N.TxFromKernel(pkts...)
 }
 
+// tcpCanceler adapts a sim.Event to tcp's timer-handle interfaces; a
+// pointer type so Reschedule can refresh the handle's deadline snapshot.
 type tcpCanceler struct{ ev sim.Event }
 
 // Cancel implements tcp.Canceler.
-func (c tcpCanceler) Cancel() bool { return c.ev.Cancel() }
+func (c *tcpCanceler) Cancel() bool { return c.ev.Cancel() }
+
+// Reschedule implements tcp.Rescheduler: the engine moves the pending
+// event in place (a single queue update instead of cancel+insert).
+func (c *tcpCanceler) Reschedule(d sim.Time) bool { return c.ev.RescheduleAfter(d) }

@@ -11,6 +11,7 @@ import (
 // the periodic clock interrupt, so resolution is 1/Hz). TCP's delayed-ACK
 // and retransmit timers run on callouts.
 type Callout struct {
+	k    *Kernel
 	t    *timerwheel.Timer
 	fn   func()
 	work sim.Time
@@ -21,6 +22,21 @@ func (c *Callout) Cancel() bool { return c.t.Cancel() }
 
 // Pending reports whether the callout has yet to fire.
 func (c *Callout) Pending() bool { return c.t.Pending() }
+
+// Reset re-targets the callout to fire no earlier than d from now, rounded
+// up to the next hardclock tick — callout_reset(9), the rearm BSD TCP's
+// retransmit timer performs on every ACK that moves snd_una. A pending
+// callout's wheel node migrates between slots in place; a fired or
+// canceled one is revived with its original handler. Neither path
+// allocates, where cancel + a fresh Timeout pays a new Callout, a new
+// Timer node, and a new wheel closure per rearm.
+func (c *Callout) Reset(d sim.Time) {
+	ticks := c.k.calloutTicks(d)
+	deadline := uint64(c.k.tick + ticks)
+	if !c.t.Reschedule(deadline) {
+		c.t.Rearm(deadline, nil)
+	}
+}
 
 type calloutWheel struct {
 	wheel *timerwheel.Wheel
@@ -35,17 +51,24 @@ func newCalloutWheel() *calloutWheel {
 // the handler consumes; it executes as a software interrupt from the clock
 // tick (BSD softclock), and its completion is a TCP/IP-other trigger state.
 func (k *Kernel) Timeout(d sim.Time, work sim.Time, fn func()) *Callout {
-	period := sim.Second / sim.Time(k.opts.Hz)
-	ticks := int64((d + period - 1) / period)
-	if ticks < 1 {
-		ticks = 1
-	}
-	c := &Callout{fn: fn, work: work}
+	ticks := k.calloutTicks(d)
+	c := &Callout{k: k, fn: fn, work: work}
 	c.t = k.callouts.wheel.Schedule(uint64(k.tick+ticks), func(timerwheel.Tick) {
 		k.mSoftclock.Inc()
 		k.PostSoftIRQ(ChainStep{Work: c.work, Src: SrcTCPIPOther, Fn: c.fn})
 	})
 	return c
+}
+
+// calloutTicks converts a relative delay to whole hardclock ticks, rounded
+// up, minimum one (a callout never fires on the tick that set it).
+func (k *Kernel) calloutTicks(d sim.Time) int64 {
+	period := sim.Second / sim.Time(k.opts.Hz)
+	ticks := int64((d + period - 1) / period)
+	if ticks < 1 {
+		ticks = 1
+	}
+	return ticks
 }
 
 // TickPeriod returns the hardclock period (1/Hz).

@@ -14,8 +14,12 @@ type event struct {
 	gen   uint64 // bumped on every recycle; stale handles mismatch
 	fn    func()
 	label string
-	index int32 // position in the heap, -1 when not queued
+	index int32 // >= 0 while queued (backend-private slot), -1 when not
 	eng   *Engine
+
+	// next/prev thread the event through a bucket backend's intrusive slot
+	// list (see evList). The heap leaves them nil.
+	next, prev *event
 }
 
 // Event is a handle to a scheduled callback, returned by the scheduling
@@ -57,12 +61,63 @@ func (ev Event) Cancel() bool {
 		return false
 	}
 	eng := e.eng
-	if n := len(eng.queue); n > eng.maxPending {
+	if n := eng.qlen(); n > eng.maxPending {
 		eng.maxPending = n // depth high-water mark, caught pre-shrink
 	}
-	eng.queue.remove(int(e.index))
+	if eng.alt != nil {
+		eng.alt.remove(e)
+	} else {
+		eng.queue.remove(e)
+	}
 	eng.release(e)
 	return true
+}
+
+// Reschedule moves a still-pending event to absolute time t in place — the
+// queue backend relocates the existing entry (a single sift on the heap, a
+// bucket migration on the wheels) instead of paying a cancel plus a fresh
+// insert. It reports whether the event was pending; rescheduling a fired,
+// canceled, or zero Event is an inert no-op, mirroring Cancel.
+//
+// The event draws a fresh FIFO sequence number, exactly as cancel+insert
+// would, so same-instant ordering against other events is identical to the
+// two-step form — rate-based pacing can switch to Reschedule without
+// perturbing a single tie-break. Rescheduling into the past panics, like
+// At; arrival-band events carry externally owned keys and cannot be
+// rescheduled.
+//
+// The receiver is a pointer so the handle's At() snapshot tracks the move;
+// other outstanding copies of the handle remain valid for Cancel/Pending
+// but report the stale time.
+func (ev *Event) Reschedule(t Time) bool {
+	e := ev.e
+	if e == nil || e.gen != ev.gen || e.index < 0 {
+		return false
+	}
+	eng := e.eng
+	if t < eng.now {
+		panic(fmt.Sprintf("sim: reschedule at %v before now %v (label %q)", t, eng.now, e.label))
+	}
+	if e.seq&arrivalBand != 0 {
+		panic("sim: reschedule of an arrival-band event")
+	}
+	eng.seq++
+	if eng.alt != nil {
+		eng.alt.update(e, t, eng.seq)
+	} else {
+		eng.queue.update(e, t, eng.seq)
+	}
+	ev.at = t
+	return true
+}
+
+// RescheduleAfter is Reschedule relative to the engine's current time.
+func (ev *Event) RescheduleAfter(d Time) bool {
+	e := ev.e
+	if e == nil || e.gen != ev.gen || e.index < 0 {
+		return false
+	}
+	return ev.Reschedule(e.eng.now + d)
 }
 
 // Label returns the debug label attached at scheduling time. It returns ""
@@ -109,8 +164,12 @@ func (q *eventQueue) popMin() *event {
 	return root
 }
 
-// remove deletes the event at heap position i.
-func (q *eventQueue) remove(i int) {
+// remove deletes a queued event (EventQueue shape; the position comes from
+// the index stamp).
+func (q *eventQueue) remove(ev *event) { q.removeAt(int(ev.index)) }
+
+// removeAt deletes the event at heap position i.
+func (q *eventQueue) removeAt(i int) {
 	h := *q
 	n := len(h) - 1
 	ev := h[i]
@@ -126,6 +185,26 @@ func (q *eventQueue) remove(i int) {
 	}
 	ev.index = -1
 }
+
+// update rekeys a queued event in place: a decrease-key or increase-key
+// restoring heap order with a single sift from the event's position, the
+// O(log n) dynamic-update operation cancel+insert pays twice for.
+func (q *eventQueue) update(ev *event, at Time, seq uint64) {
+	ev.at, ev.seq = at, seq
+	i := int(ev.index)
+	if !q.siftDown(i) {
+		q.siftUp(i)
+	}
+}
+
+func (q *eventQueue) peek() *event {
+	if len(*q) == 0 {
+		return nil
+	}
+	return (*q)[0]
+}
+
+func (q *eventQueue) len() int { return len(*q) }
 
 func (q eventQueue) siftUp(i int) {
 	ev := q[i]
@@ -183,6 +262,14 @@ const poolChunk = 64
 type Engine struct {
 	now   Time
 	queue eventQueue
+	// alt, when non-nil, replaces the inline heap as the pending-event
+	// store (NewEngineWithQueue). Every queue touch branches on alt == nil
+	// rather than calling through an interface value, so the default heap
+	// engine pays one predictable branch — not a dynamic dispatch — on the
+	// hot path. The heap also implements EventQueue, but is never driven
+	// through it.
+	alt   EventQueue
+	qkind QueueKind
 	seq   uint64
 	// maxPending is the heap-depth high-water mark observed at decrease
 	// points. The true maximum depth is always attained immediately before
@@ -209,6 +296,26 @@ func NewEngine(seed uint64) *Engine {
 	return &Engine{rng: NewRNG(seed)}
 }
 
+// NewEngineWithQueue is NewEngine with an explicit event-queue backend.
+// QueueHeap yields an engine identical to NewEngine's; the other kinds
+// swap in a bucket-structured store with the same observable semantics —
+// the differential harness in queue_diff_test.go holds them to identical
+// fire order — but different cost profiles (see QueueKind).
+func NewEngineWithQueue(seed uint64, kind QueueKind) *Engine {
+	return &Engine{rng: NewRNG(seed), alt: newQueueBackend(kind), qkind: kind}
+}
+
+// Queue reports which event-queue backend the engine runs on.
+func (e *Engine) Queue() QueueKind { return e.qkind }
+
+// qlen is the current pending-event count, whichever store holds them.
+func (e *Engine) qlen() int {
+	if e.alt != nil {
+		return e.alt.len()
+	}
+	return len(e.queue)
+}
+
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
@@ -216,7 +323,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Rand() *RNG { return e.rng }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.qlen() }
 
 // FreeListLen returns the number of recycled events awaiting reuse (for
 // tests and introspection).
@@ -227,7 +334,7 @@ func (e *Engine) FreeListLen() int { return len(e.free) }
 // depth counts: maxPending itself is only refreshed when the queue
 // shrinks.
 func (e *Engine) MaxPending() int {
-	if n := len(e.queue); n > e.maxPending {
+	if n := e.qlen(); n > e.maxPending {
 		return n
 	}
 	return e.maxPending
@@ -282,7 +389,11 @@ func (e *Engine) AtLabeled(t Time, label string, fn func()) Event {
 	ev.seq = e.seq
 	ev.fn = fn
 	ev.label = label
-	e.queue.push(ev)
+	if e.alt != nil {
+		e.alt.push(ev)
+	} else {
+		e.queue.push(ev)
+	}
 	return Event{e: ev, gen: ev.gen, at: t}
 }
 
@@ -324,7 +435,11 @@ func (e *Engine) AtArrival(t Time, conduit int32, seq uint64, label string, fn f
 	ev.seq = arrivalBand | uint64(conduit)<<arrivalConduitShift | seq
 	ev.fn = fn
 	ev.label = label
-	e.queue.push(ev)
+	if e.alt != nil {
+		e.alt.push(ev)
+	} else {
+		e.queue.push(ev)
+	}
 	return Event{e: ev, gen: ev.gen, at: t}
 }
 
@@ -342,10 +457,15 @@ func (e *Engine) AfterLabeled(d Time, label string, fn func()) Event {
 // storage, and runs its handler. The caller must know the queue is
 // non-empty and the engine not stopped.
 func (e *Engine) fire() {
-	if n := len(e.queue); n > e.maxPending {
+	if n := e.qlen(); n > e.maxPending {
 		e.maxPending = n // depth high-water mark, caught pre-shrink
 	}
-	ev := e.queue.popMin()
+	var ev *event
+	if e.alt != nil {
+		ev = e.alt.popMin()
+	} else {
+		ev = e.queue.popMin()
+	}
 	if ev.at < e.now {
 		panic("sim: time went backwards") // unreachable; guards heap bugs
 	}
@@ -359,7 +479,7 @@ func (e *Engine) fire() {
 // Step fires the earliest pending event, advancing the clock to its time.
 // It returns false if the queue is empty or the engine has been stopped.
 func (e *Engine) Step() bool {
-	if e.stopped || len(e.queue) == 0 {
+	if e.stopped || e.qlen() == 0 {
 		return false
 	}
 	e.fire()
@@ -373,8 +493,20 @@ func (e *Engine) Step() bool {
 // queue head) and pays no per-event function-call indirection beyond the
 // handler itself.
 func (e *Engine) RunUntil(t Time) {
-	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= t {
-		e.fire()
+	if e.alt == nil {
+		// The default heap keeps the specialized tight loop: head peek is a
+		// slice index, no calls beyond fire.
+		for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= t {
+			e.fire()
+		}
+	} else {
+		for !e.stopped {
+			head := e.alt.peek()
+			if head == nil || head.at > t {
+				break
+			}
+			e.fire()
+		}
 	}
 	if !e.stopped && t > e.now {
 		e.now = t
@@ -386,7 +518,7 @@ func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
 
 // Run fires events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
-	for !e.stopped && len(e.queue) > 0 {
+	for !e.stopped && e.qlen() > 0 {
 		e.fire()
 	}
 }

@@ -1,0 +1,187 @@
+package sim
+
+import "math/bits"
+
+// ffsQueue is an Eiffel-style find-first-set bucket queue (Saeed et al.,
+// "Eiffel: efficient and flexible software packet scheduling"): a ring of
+// 2^12 one-microsecond-ish buckets covering a sliding ~4 ms window, with
+// a two-level bitmap — one bit per bucket, one summary bit per 64-bucket
+// word — so locating the earliest non-empty bucket is a handful of
+// find-first-set instructions instead of a scan. Deadlines beyond the
+// window park on an overflow list (with a cached minimum) and migrate in
+// as the window slides forward over the pop order.
+//
+// push, remove and update are O(1); popMin is O(1) bitmap work plus a
+// scan of the (≤ 1 µs wide) head bucket for the exact (at, seq) minimum,
+// which keeps the fire order byte-identical to the heap's. The window
+// base only advances inside popMin, to the popped event's bucket — the
+// engine sets its clock to exactly that event's time, so every later push
+// (At panics on past times) lands at or after the base, and the vacated
+// buckets are provably empty because the popped event was the minimum.
+type ffsQueue struct {
+	buckets [fqBuckets]evList
+	words   [fqWords]uint64
+	summary uint64 // bit w set iff words[w] != 0
+	base    uint64 // smallest absolute bucket the window can hold
+	n       int    // total queued events, overflow included
+
+	overflow  evList
+	nover     int
+	minOver   *event // smallest overflow event; trust only when !dirtyOver
+	dirtyOver bool
+}
+
+const (
+	fqShift       = 10 // 1024 ns buckets
+	fqBuckets     = 4096
+	fqMask        = fqBuckets - 1
+	fqWords       = fqBuckets / 64
+	fqOverflowIdx = fqBuckets // ev.index sentinel for overflow residents
+)
+
+func newFFSQueue() *ffsQueue { return &ffsQueue{} }
+
+func fqBucketOf(at Time) uint64 { return uint64(at) >> fqShift }
+
+func (q *ffsQueue) setBit(idx int32) {
+	q.words[idx>>6] |= 1 << uint(idx&63)
+	q.summary |= 1 << uint(idx>>6)
+}
+
+func (q *ffsQueue) clearBit(idx int32) {
+	w := idx >> 6
+	q.words[w] &^= 1 << uint(idx&63)
+	if q.words[w] == 0 {
+		q.summary &^= 1 << uint(w)
+	}
+}
+
+func (q *ffsQueue) len() int { return q.n }
+
+func (q *ffsQueue) push(ev *event) {
+	b := fqBucketOf(ev.at)
+	if b < q.base {
+		panic("sim: ffs queue event before window base") // unreachable; guards the advance rule
+	}
+	if b >= q.base+fqBuckets {
+		q.overflow.pushFront(ev)
+		ev.index = fqOverflowIdx
+		q.nover++
+		if !q.dirtyOver && (q.minOver == nil || before(ev, q.minOver)) {
+			q.minOver = ev
+		}
+	} else {
+		idx := int32(b & fqMask)
+		q.buckets[idx].pushFront(ev)
+		q.setBit(idx)
+		ev.index = idx
+	}
+	q.n++
+}
+
+func (q *ffsQueue) remove(ev *event) {
+	if ev.index == fqOverflowIdx {
+		q.overflow.unlink(ev)
+		q.nover--
+		if ev == q.minOver {
+			q.dirtyOver = true
+		}
+	} else {
+		q.buckets[ev.index].unlink(ev)
+		if q.buckets[ev.index].head == nil {
+			q.clearBit(ev.index)
+		}
+	}
+	ev.index = -1
+	q.n--
+}
+
+func (q *ffsQueue) update(ev *event, at Time, seq uint64) {
+	q.remove(ev)
+	ev.at, ev.seq = at, seq
+	q.push(ev)
+}
+
+func (q *ffsQueue) peek() *event {
+	if q.n == 0 {
+		return nil
+	}
+	if idx := q.firstIdx(); idx >= 0 {
+		// A non-empty window bucket always holds the global minimum:
+		// overflow deadlines lie beyond every window bucket by definition.
+		return q.buckets[idx].minOf(nil)
+	}
+	if q.dirtyOver {
+		q.minOver = q.overflow.minOf(nil)
+		q.dirtyOver = false
+	}
+	return q.minOver
+}
+
+func (q *ffsQueue) popMin() *event {
+	m := q.peek()
+	q.remove(m)
+	if nb := fqBucketOf(m.at); nb > q.base {
+		// Slide the window to the popped bucket (the engine's clock becomes
+		// exactly m.at, so no later push can precede it) and pull newly
+		// covered overflow deadlines in.
+		q.base = nb
+		q.migrate()
+	}
+	return m
+}
+
+// migrate moves every overflow event the slid window now covers into its
+// bucket.
+func (q *ffsQueue) migrate() {
+	if q.nover == 0 {
+		return
+	}
+	limit := q.base + fqBuckets
+	moved := false
+	t := q.overflow.head
+	for t != nil {
+		next := t.next
+		if b := fqBucketOf(t.at); b < limit {
+			q.overflow.unlink(t)
+			q.nover--
+			idx := int32(b & fqMask)
+			q.buckets[idx].pushFront(t)
+			q.setBit(idx)
+			t.index = idx
+			moved = true
+		}
+		t = next
+	}
+	if moved {
+		q.dirtyOver = true
+	}
+}
+
+// firstIdx returns the ring index of the first non-empty window bucket in
+// absolute-bucket order from base, or -1 when the window is empty. Ring
+// order starting at base's index is absolute order, because the window
+// holds exactly one absolute bucket per ring position.
+func (q *ffsQueue) firstIdx() int32 {
+	if q.summary == 0 {
+		return -1
+	}
+	bi := int(q.base & fqMask)
+	wi := bi >> 6
+	off := uint(bi & 63)
+	// The base word, bits at or after the base position.
+	if w := q.words[wi] &^ (1<<off - 1); w != 0 {
+		return int32(wi<<6 + bits.TrailingZeros64(w))
+	}
+	// The other words, in ring order after wi.
+	if rot := bits.RotateLeft64(q.summary&^(1<<uint(wi)), -(wi + 1)); rot != 0 {
+		j := (wi + 1 + bits.TrailingZeros64(rot)) & (fqWords - 1)
+		return int32(j<<6 + bits.TrailingZeros64(q.words[j]))
+	}
+	// Wrapped all the way around: the base word's low bits (the window's
+	// far end).
+	if w := q.words[wi] & (1<<off - 1); w != 0 {
+		return int32(wi<<6 + bits.TrailingZeros64(w))
+	}
+	return -1 // unreachable while summary != 0
+}

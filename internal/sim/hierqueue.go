@@ -1,0 +1,126 @@
+package sim
+
+// hierQueue is the hierarchical-timing-wheel EventQueue backend: four
+// levels of 64 slots over ~1 µs base buckets, each level coarser by 64x,
+// with deadlines beyond the top level parked on an overflow list — the
+// Varghese & Lauck multi-level scheme the facility's Hierarchical wheel
+// uses, applied to the engine's queue. A mix of microsecond soft-timer
+// events and millisecond protocol timeouts never crowds one slot list.
+//
+// Unlike the classic wheel there is no cascade: placement is by absolute
+// deadline prefix relative to the bucket cursor at push time, and because
+// the exact-order popMin recrowns the minimum by scanning every slot
+// anyway (the same O(slots + n) worst case as wheelQueue), events are
+// found wherever they were placed. push, remove and update stay O(1).
+type hierQueue struct {
+	levels   [hqLevels][hqSlots]evList
+	overflow evList
+	cur      uint64 // bucket of the last popped event; placement origin
+	n        int
+	min      *event
+	dirty    bool
+}
+
+const (
+	hqShift    = 10 // 1024 ns base buckets
+	hqBits     = 6  // 64 slots per level
+	hqSlots    = 1 << hqBits
+	hqLevels   = 4 // 64^4 buckets ≈ 17 s of 1 µs ticks
+	hqOverflow = hqLevels * hqSlots
+)
+
+func newHierQueue() *hierQueue { return &hierQueue{} }
+
+func hqBucket(at Time) uint64 { return uint64(at) >> hqShift }
+
+// place links ev into the level/slot its deadline prefix selects, stamping
+// the slot id into ev.index (hqOverflow for the overflow list).
+func (q *hierQueue) place(ev *event) {
+	b := hqBucket(ev.at)
+	var delta uint64
+	if b > q.cur {
+		delta = b - q.cur
+	}
+	for l := 0; l < hqLevels; l++ {
+		if delta < 1<<(hqBits*(l+1)) {
+			idx := (b >> (hqBits * l)) & (hqSlots - 1)
+			q.levels[l][idx].pushFront(ev)
+			ev.index = int32(l*hqSlots) + int32(idx)
+			return
+		}
+	}
+	q.overflow.pushFront(ev)
+	ev.index = hqOverflow
+}
+
+// listFor maps a stamped index back to its list.
+func (q *hierQueue) listFor(index int32) *evList {
+	if index == hqOverflow {
+		return &q.overflow
+	}
+	return &q.levels[index>>hqBits][index&(hqSlots-1)]
+}
+
+func (q *hierQueue) len() int { return q.n }
+
+func (q *hierQueue) push(ev *event) {
+	q.place(ev)
+	q.n++
+	if !q.dirty && (q.min == nil || before(ev, q.min)) {
+		q.min = ev
+	}
+}
+
+func (q *hierQueue) remove(ev *event) {
+	q.listFor(ev.index).unlink(ev)
+	ev.index = -1
+	q.n--
+	if ev == q.min {
+		q.dirty = true
+	}
+}
+
+func (q *hierQueue) update(ev *event, at Time, seq uint64) {
+	q.listFor(ev.index).unlink(ev)
+	ev.at, ev.seq = at, seq
+	q.place(ev)
+	if ev == q.min {
+		q.dirty = true
+	} else if !q.dirty && before(ev, q.min) {
+		q.min = ev
+	}
+}
+
+func (q *hierQueue) peek() *event {
+	if q.n == 0 {
+		return nil
+	}
+	if q.dirty {
+		q.recompute()
+	}
+	return q.min
+}
+
+func (q *hierQueue) popMin() *event {
+	m := q.peek()
+	q.listFor(m.index).unlink(m)
+	m.index = -1
+	q.n--
+	q.dirty = true
+	if b := hqBucket(m.at); b > q.cur {
+		q.cur = b // placement origin advances with the pop order
+	}
+	return m
+}
+
+// recompute rescans every level and the overflow for the global minimum.
+func (q *hierQueue) recompute() {
+	var min *event
+	for l := 0; l < hqLevels; l++ {
+		for i := range q.levels[l] {
+			min = q.levels[l][i].minOf(min)
+		}
+	}
+	q.min = q.overflow.minOf(min)
+	q.dirty = false
+}

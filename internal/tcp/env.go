@@ -20,7 +20,7 @@ func (e *EngineEnv) Now() sim.Time { return e.Eng.Now() }
 
 // After implements Env.
 func (e *EngineEnv) After(d sim.Time, fn func()) Canceler {
-	return eventCanceler{e.Eng.After(d, fn)}
+	return &eventCanceler{e.Eng.After(d, fn)}
 }
 
 // Transmit implements Env.
@@ -30,6 +30,12 @@ func (e *EngineEnv) Transmit(pkts []*netstack.Packet) {
 	}
 }
 
+// eventCanceler adapts a sim.Event to the timer-handle interfaces. It is a
+// pointer type so Reschedule can refresh the handle's deadline snapshot.
 type eventCanceler struct{ ev sim.Event }
 
-func (c eventCanceler) Cancel() bool { return c.ev.Cancel() }
+func (c *eventCanceler) Cancel() bool { return c.ev.Cancel() }
+
+// Reschedule implements Rescheduler: the engine moves the pending event in
+// place (a single queue update instead of cancel+insert).
+func (c *eventCanceler) Reschedule(d sim.Time) bool { return c.ev.RescheduleAfter(d) }

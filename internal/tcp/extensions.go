@@ -136,9 +136,12 @@ func (s *Sender) smoothedPump(compressed bool) bool {
 		}
 		s.send([]*netstack.Packet{s.makeSegment()})
 		sm.smoothed++
-		sm.timer = s.env.After(gap, drain)
+		// Rearm through the handle: a still-pending timer (an env whose
+		// queue fires late or batches) moves in place; the usual fired
+		// handle falls back to a fresh insert with the same closure.
+		sm.timer = rearmTimer(s.env, sm.timer, gap, drain)
 	}
-	sm.timer = s.env.After(gap, drain)
+	sm.timer = rearmTimer(s.env, sm.timer, gap, drain)
 	return true
 }
 

@@ -27,6 +27,32 @@ type Canceler interface {
 	Cancel() bool
 }
 
+// Rescheduler is an optional Canceler extension implemented by handles
+// whose backing timer queue supports dynamic update (engine-backed envs
+// do, via sim.Event.Reschedule). Reschedule moves a still-pending timer to
+// fire d from now in place — the queue relocates the existing entry, no
+// cancel and no fresh insert — keeping the handler the timer already
+// carries. It reports whether it did; a fired or canceled handle returns
+// false and the caller schedules anew.
+type Rescheduler interface {
+	Canceler
+	Reschedule(d sim.Time) bool
+}
+
+// rearmTimer re-targets t to run fn after d: in place when the handle is
+// still pending and movable (Rescheduler), by cancel plus a fresh insert
+// otherwise. The returned handle replaces t. fn must be the handler the
+// live timer already carries — an in-place move keeps the old closure.
+func rearmTimer(env Env, t Canceler, d sim.Time, fn func()) Canceler {
+	if r, ok := t.(Rescheduler); ok && r.Reschedule(d) {
+		return t
+	}
+	if t != nil {
+		t.Cancel()
+	}
+	return env.After(d, fn)
+}
+
 // Env is the host environment a TCP endpoint runs in. Server endpoints are
 // backed by the simulated kernel (timers are callouts, transmission passes
 // through the IP output path with its trigger states and CPU costs); client

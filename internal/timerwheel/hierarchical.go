@@ -64,14 +64,37 @@ func (h *Hierarchical) Schedule(deadline Tick, fn Handler) *Timer {
 	if fn == nil {
 		panic("timerwheel: schedule of nil handler")
 	}
-	t := &Timer{deadline: deadline, fn: fn, own: h, gen: h.advGen}
+	t := &Timer{own: h}
+	h.insert(t, deadline, fn)
+	return t
+}
+
+// insert links a non-pending node into its level (Schedule and Timer.Rearm).
+func (h *Hierarchical) insert(t *Timer, deadline Tick, fn Handler) {
+	t.deadline, t.fn, t.gen = deadline, fn, h.advGen
 	h.place(t)
 	h.n++
 	if deadline < h.earliest {
 		h.earliest = deadline
 		h.dirty = false
 	}
-	return t
+}
+
+// replace migrates a pending node to a new deadline (Timer.Reschedule).
+func (h *Hierarchical) replace(t *Timer, deadline Tick) {
+	t.slot.remove(t)
+	t.slot = nil
+	old := t.deadline
+	t.deadline = deadline
+	t.gen = h.advGen
+	h.place(t)
+	if old <= h.earliest {
+		h.dirty = true // the earliest bound may have left with old
+	}
+	if deadline < h.earliest {
+		h.earliest = deadline // strictly under the bound: exact again
+		h.dirty = false
+	}
 }
 
 // ScheduleFree implements Queue.

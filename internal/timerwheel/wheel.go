@@ -44,9 +44,12 @@ type Queue interface {
 }
 
 // owner is the queue a timer belongs to, notified on cancellation so it can
-// maintain its count and earliest-deadline cache.
+// maintain its count and earliest-deadline cache, and asked to relocate the
+// timer on an in-place reschedule.
 type owner interface {
 	noteCancel(*Timer)
+	replace(t *Timer, deadline Tick)
+	insert(t *Timer, deadline Tick, fn Handler)
 }
 
 // Timer is a handle to a scheduled event, usable to cancel it.
@@ -76,6 +79,47 @@ func (t *Timer) Cancel() bool {
 	t.slot = nil
 	t.own.noteCancel(t)
 	return true
+}
+
+// Reschedule moves a still-pending timer to a new deadline in place: the
+// node migrates between slot lists with no cancel, no fresh insert, and no
+// allocation. It reports whether the timer was pending; rescheduling a
+// fired, canceled, or nil timer is an inert no-op (use Rearm to revive a
+// fired handle's node).
+//
+// The timer is restamped with the wheel's current Advance generation,
+// exactly as a cancel + Schedule pair would be, so an in-Advance
+// reschedule to an already-due deadline still waits for the next Advance.
+func (t *Timer) Reschedule(deadline Tick) bool {
+	if t == nil || t.slot == nil {
+		return false
+	}
+	t.own.replace(t, deadline)
+	return true
+}
+
+// Rearm re-inserts a fired or canceled timer node at a new deadline,
+// reusing its allocation and handler: the wheel equivalent of the rearm
+// half of a periodic timer, without a fresh Timer node per period. The
+// node must have come from Schedule on this queue (pooled ScheduleFree
+// nodes have no owner and may already belong to a later timer) and must
+// not be pending — a pending timer Reschedules instead. fn == nil keeps
+// the handler the node already carries (it is cleared on fire, not on
+// cancel, so revived canceled timers keep theirs).
+func (t *Timer) Rearm(deadline Tick, fn Handler) {
+	if t == nil || t.own == nil || t.pooled {
+		panic("timerwheel: rearm of a pooled or never-scheduled timer")
+	}
+	if t.slot != nil {
+		panic("timerwheel: rearm of a pending timer (use Reschedule)")
+	}
+	if fn == nil {
+		fn = t.fn
+		if fn == nil {
+			panic("timerwheel: rearm with no handler")
+		}
+	}
+	t.own.insert(t, deadline, fn)
 }
 
 // slot is an intrusive doubly-linked list of timers hashing to one position.
@@ -139,14 +183,36 @@ func (w *Wheel) Schedule(deadline Tick, fn Handler) *Timer {
 	if fn == nil {
 		panic("timerwheel: schedule of nil handler")
 	}
-	t := &Timer{deadline: deadline, fn: fn, own: w, gen: w.advGen}
+	t := &Timer{own: w}
+	w.insert(t, deadline, fn)
+	return t
+}
+
+// insert links a non-pending node into its slot (Schedule and Timer.Rearm).
+func (w *Wheel) insert(t *Timer, deadline Tick, fn Handler) {
+	t.deadline, t.fn, t.gen = deadline, fn, w.advGen
 	w.slots[deadline&w.mask].push(t)
 	w.n++
 	if deadline < w.earliest {
 		w.earliest = deadline
 		w.dirty = false
 	}
-	return t
+}
+
+// replace migrates a pending node to a new deadline (Timer.Reschedule).
+func (w *Wheel) replace(t *Timer, deadline Tick) {
+	t.slot.remove(t)
+	old := t.deadline
+	t.deadline = deadline
+	t.gen = w.advGen
+	w.slots[deadline&w.mask].push(t)
+	if old <= w.earliest {
+		w.dirty = true // the earliest bound may have left with old
+	}
+	if deadline < w.earliest {
+		w.earliest = deadline // strictly under the bound: exact again
+		w.dirty = false
+	}
 }
 
 // ScheduleFree implements Queue.
