@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench cover metrics-smoke trace-smoke series-smoke fuzz-smoke scenario-smoke shard-smoke queue-smoke stbench clean
+.PHONY: all check vet build test race bench cover metrics-smoke trace-smoke series-smoke fuzz-smoke scenario-smoke shard-smoke queue-smoke emu-smoke stbench clean
 
 # Per-target budget for the fuzz smoke (CI passes a longer one).
 FUZZTIME ?= 30s
@@ -16,14 +16,14 @@ vet:
 build:
 	$(GO) build ./...
 
-test: metrics-smoke trace-smoke series-smoke queue-smoke
+test: metrics-smoke trace-smoke series-smoke queue-smoke emu-smoke
 	$(GO) test -shuffle=on ./...
 
 # The engine pool, the parallel experiment runner, and the sharded
 # executor (plus the topology/httpserv rigs that run on it) are the
 # concurrency-sensitive packages; run them under the race detector.
 race:
-	$(GO) test -race ./internal/sim ./internal/experiments ./internal/topology ./internal/httpserv ./internal/netstack ./internal/timerwheel
+	$(GO) test -race ./internal/sim ./internal/experiments ./internal/topology ./internal/httpserv ./internal/netstack ./internal/timerwheel ./internal/emu
 
 # Engine, metrics and packet hot-path microbenchmarks (allocation counts
 # included). The zero-alloc guards run first — the two-host packet path must
@@ -111,6 +111,13 @@ queue-smoke:
 	diff /tmp/stbench-queue-heap.json /tmp/stbench-queue-hier.json
 	$(GO) run ./cmd/stbench -exp fleet-hier -scale smoke -queue ffs -metrics /tmp/stbench-queue-ffs.json >/dev/null
 	diff /tmp/stbench-queue-heap.json /tmp/stbench-queue-ffs.json
+
+# Emulation smoke: stserve's self-test serves real HTTP over loopback for
+# ~2 s under the RealTimeClock driver and asserts at least one pacer-clocked
+# response plus a non-empty engine-lag histogram. Prints SKIP (and exits 0)
+# on runners where loopback sockets are unavailable.
+emu-smoke:
+	$(GO) run ./cmd/stserve -selftest
 
 stbench:
 	$(GO) build -o stbench ./cmd/stbench

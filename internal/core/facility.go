@@ -55,6 +55,16 @@ type Options struct {
 	// (Event.Rearm) — the pre-reschedule baseline, kept selectable so the
 	// regression tests can diff the two paths' telemetry byte for byte.
 	LegacyRearm bool
+	// TimeSource, when non-nil, replaces the kernel's virtual clock as the
+	// facility's measurement clock. Emulation mode (sim.RealTimeClock)
+	// supplies its wall-mapped VirtualNow here so measured trigger
+	// intervals and firing delays reflect real elapsed time — engine lag
+	// included — rather than the event-hop virtual clock; a catch-up burst
+	// that fires "on time" in virtual terms still shows its true wall
+	// delay. The source must be monotone non-decreasing. Nil (the default)
+	// keeps the kernel clock and is byte-identical to the pre-seam
+	// facility.
+	TimeSource func() sim.Time
 }
 
 // Facility is the soft-timer facility, installed as a kernel TriggerSink.
@@ -64,6 +74,10 @@ type Facility struct {
 	hashed  *timerwheel.Wheel // non-nil when the hashed variant is in use
 	tickDur sim.Time
 	hz      uint64
+	// nowFn overrides the kernel clock as the measurement time base
+	// (Options.TimeSource); nil in sim mode, where the kernel clock path
+	// below stays byte-identical.
+	nowFn func() sim.Time
 
 	// Telemetry. The facility's counters live on the kernel's metrics
 	// registry (softtimer.checks, softtimer.scheduled, ...); the Stats
@@ -116,6 +130,7 @@ func New(k *kernel.Kernel, opts Options) *Facility {
 		tickDur:     tickDur,
 		hz:          opts.MeasureHz,
 		legacyRearm: opts.LegacyRearm,
+		nowFn:       opts.TimeSource,
 		DelayHist:   stats.NewHistogram(1, 2000),
 	}
 	if opts.Hierarchical {
@@ -149,9 +164,23 @@ func (f *Facility) MaxDelayUS() int64 { return f.overshoot.Max() }
 func (f *Facility) MeasureResolution() uint64 { return f.hz }
 
 // MeasureTime returns the current time in measurement clock ticks. It is a
-// monotonic interval clock, not synchronized to any standard time base.
+// monotonic interval clock, not synchronized to any standard time base. In
+// emulation mode (Options.TimeSource) the ticks come from the wall-mapped
+// clock instead of the kernel's virtual clock.
 func (f *Facility) MeasureTime() uint64 {
+	if f.nowFn != nil {
+		return uint64(f.nowFn() / f.tickDur)
+	}
 	return uint64(f.k.Now() / f.tickDur)
+}
+
+// now returns the facility's time base: the kernel clock, or the override
+// (Options.TimeSource) in emulation mode.
+func (f *Facility) now() sim.Time {
+	if f.nowFn != nil {
+		return f.nowFn()
+	}
+	return f.k.Now()
 }
 
 // InterruptClockResolution returns the backup interrupt clock frequency in
@@ -264,7 +293,7 @@ func (ev *Event) fire(fireTick timerwheel.Tick) {
 		ev.next = f.freeEv
 		f.freeEv = ev
 	}
-	f.pendingCost += f.k.Profile().SoftCall + h(f.k.Now())
+	f.pendingCost += f.k.Profile().SoftCall + h(f.now())
 }
 
 // ScheduleSoftEventFree schedules h exactly like ScheduleSoftEvent but
@@ -307,6 +336,12 @@ func (f *Facility) Trigger(src kernel.Source, now sim.Time) sim.Time {
 		// A handler's own work produced a nested trigger state; the
 		// facility does not recurse (handlers already run back to back).
 		return 0
+	}
+	if f.nowFn != nil {
+		// Emulation mode: the wheel runs on wall-mapped ticks, so the due
+		// check must too — the virtual now passed in lags real time during
+		// catch-up bursts.
+		now = f.nowFn()
 	}
 	tick := timerwheel.Tick(now / f.tickDur)
 	if f.hashed != nil {

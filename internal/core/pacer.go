@@ -76,7 +76,9 @@ func (p *Pacer) Start() {
 	}
 	p.running = true
 	p.mTrains.Inc()
-	p.trainStart = p.f.k.Now()
+	// f.now(), not k.Now(): in emulation mode the train's rate accounting
+	// must run on the same wall-mapped clock the fire handler observes.
+	p.trainStart = p.f.now()
 	p.lastSend = p.trainStart
 	p.sent = 0
 	p.schedule(p.TargetInterval)

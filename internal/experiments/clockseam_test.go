@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"softtimers/internal/faults"
+	"softtimers/internal/httpserv"
+	"softtimers/internal/sim"
+	"softtimers/internal/trace"
+)
+
+// These tests are the clock-driver seam's determinism guard: sim mode must
+// be bit-for-bit unchanged by the refactor. The engine's tight loop is
+// structurally untouched when no driver is installed (Engine.driver stays
+// nil), and these pin the observable consequence — merged telemetry and
+// Chrome traces identical across shard counts and worker counts, on clean
+// and hostile scenarios — so any future driver work that accidentally
+// perturbs the driverless path fails here, not in a user's replay.
+
+// Clean scenario: one fleet row at shards 0/1/4 and workers 1/8 produces
+// identical rows, merged telemetry, and merged Chrome traces.
+func TestClockSeamCleanFleetByteIdentical(t *testing.T) {
+	const n, salt, traceCap = 6, 777, 4096
+	run := func(shards, workers int) (FleetRow, []byte, []byte) {
+		sc := tinyScale()
+		sc.Shards = shards
+		sc.Workers = workers
+		sc.Clock = sim.ClockSim // the deterministic default, explicitly
+		row, snap, chrome := runFleetOpts(sc, salt, n, traceCap)
+		row.WallMS = 0
+		sj, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return row, sj, chrome
+	}
+	refRow, refSnap, refChrome := run(0, 1)
+	if refRow.Probes == 0 || refRow.Completed == 0 {
+		t.Fatalf("reference row is degenerate: %+v", refRow)
+	}
+	for _, c := range []struct {
+		name            string
+		shards, workers int
+	}{
+		{"shards=1/workers=1", 1, 1},
+		{"shards=4/workers=1", 4, 1},
+		{"shards=0/workers=8", 0, 8},
+		{"shards=4/workers=8", 4, 8},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			row, snap, chrome := run(c.shards, c.workers)
+			if row != refRow {
+				t.Errorf("row diverged:\n got %+v\nwant %+v", row, refRow)
+			}
+			if !bytes.Equal(snap, refSnap) {
+				t.Errorf("merged telemetry diverged (%d vs %d bytes)", len(snap), len(refSnap))
+			}
+			if !bytes.Equal(chrome, refChrome) {
+				t.Errorf("merged Chrome trace diverged (%d vs %d bytes)", len(chrome), len(refChrome))
+			}
+		})
+	}
+}
+
+// Hostile scenario: the full LAN rig under the hostile fault plan — loss,
+// reorder, jitter, trigger starvation all biting — replays byte-identically
+// on the bare engine and on the sharded executor with the seam in place.
+func TestClockSeamHostileByteIdentical(t *testing.T) {
+	run := func(shards int) (metricsJSON, chrome []byte) {
+		tb := httpserv.NewTestbed(httpserv.TestbedConfig{
+			Seed:        42,
+			Concurrency: 8,
+			NICCount:    2,
+			Server:      httpserv.Config{Kind: httpserv.Flash},
+			Faults:      faults.New(42, faults.MustScenario("hostile")),
+			Shards:      shards,
+		})
+		tr := trace.New(64_000)
+		tb.K.SetTracer(tr)
+		tb.Run(50*sim.Millisecond, 200*sim.Millisecond)
+		var mb, cb bytes.Buffer
+		if err := tb.Metrics().WriteJSON(&mb); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.WriteChrome(&cb); err != nil {
+			t.Fatal(err)
+		}
+		return mb.Bytes(), cb.Bytes()
+	}
+	refM, refC := run(0)
+	if len(refC) < 1000 {
+		t.Fatalf("trace suspiciously small (%d bytes)", len(refC))
+	}
+	m, c := run(1)
+	if !bytes.Equal(m, refM) {
+		t.Error("hostile telemetry diverged between bare and sharded engines")
+	}
+	if !bytes.Equal(c, refC) {
+		t.Error("hostile Chrome trace diverged between bare and sharded engines")
+	}
+}

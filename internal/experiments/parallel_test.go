@@ -185,12 +185,29 @@ func TestForEachReRaisesLowestPanic(t *testing.T) {
 }
 
 func TestRegistryCoversOrder(t *testing.T) {
-	if len(Names()) != len(Order) {
-		t.Fatalf("registry has %d entries, Order lists %d", len(Names()), len(Order))
+	// Order lists every deterministic experiment ("all" must stay
+	// reproducible); realtime experiments are registered but excluded.
+	nRealtime := 0
+	for _, n := range Names() {
+		if RequiresRealTime(n) {
+			nRealtime++
+		}
+	}
+	if len(Names()) != len(Order)+nRealtime {
+		t.Fatalf("registry has %d entries, Order lists %d (+%d realtime)",
+			len(Names()), len(Order), nRealtime)
 	}
 	for _, n := range Order {
 		if _, ok := Lookup(n); !ok {
 			t.Fatalf("Order entry %q missing from registry", n)
+		}
+		if RequiresRealTime(n) {
+			t.Fatalf("Order entry %q requires realtime; \"all\" must stay deterministic", n)
+		}
+	}
+	for name := range realtimeExps {
+		if _, ok := Lookup(name); !ok {
+			t.Fatalf("realtime experiment %q missing from registry", name)
 		}
 	}
 }

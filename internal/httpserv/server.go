@@ -60,6 +60,14 @@ const (
 	// each timer interrupt dispatches a software-interrupt thread that
 	// transmits one pending segment.
 	TxHWPaced
+	// TxPacerPaced is rate-based clocking through the Section 4.1 adaptive
+	// pacer (core.Pacer): packets are spaced at PacerInterval, falling
+	// back to PacerBurstInterval whenever the achieved rate lags the
+	// target. Unlike TxSoftPaced's always-due event (one packet per
+	// trigger state, as fast as trigger states arrive), the pacer holds a
+	// deliberate rate — the discipline emulation mode uses to pace real
+	// socket writes.
+	TxPacerPaced
 )
 
 // Config configures a Server.
@@ -77,6 +85,13 @@ type Config struct {
 	// HWPacerPeriod is the hardware timer period in TxHWPaced mode
 	// (default 20 µs — the paper's 50 KHz).
 	HWPacerPeriod sim.Time
+	// PacerInterval is the target packet spacing in TxPacerPaced mode
+	// (default 100 µs, 10k packets/s).
+	PacerInterval sim.Time
+	// PacerBurstInterval is the TxPacerPaced catch-up spacing — the
+	// tightest gap allowed when the achieved rate falls behind the target
+	// (default 20 µs).
+	PacerBurstInterval sim.Time
 	// PacedExtraWork is the additional per-packet cost of transmitting
 	// from a timer event rather than the in-syscall output loop (scattered
 	// code path, per-event bookkeeping).
@@ -115,6 +130,12 @@ func (c *Config) setDefaults() {
 	}
 	if c.HWPacerPeriod == 0 {
 		c.HWPacerPeriod = 20 * sim.Microsecond
+	}
+	if c.PacerInterval == 0 {
+		c.PacerInterval = 100 * sim.Microsecond
+	}
+	if c.PacerBurstInterval == 0 {
+		c.PacerBurstInterval = 20 * sim.Microsecond
 	}
 	if c.PacedExtraWork == 0 {
 		c.PacedExtraWork = sim.Micros(2.5)
@@ -166,6 +187,7 @@ type Server struct {
 	// Paced-transmission state.
 	txQ        []*netstack.Packet
 	softEvUp   bool
+	pacer      *core.Pacer // TxPacerPaced transmission clock
 	pit        *kernel.PIT
 	lastPaced  sim.Time
 	pacedCount int64
@@ -192,8 +214,8 @@ func NewServer(k *kernel.Kernel, f *core.Facility, n *nic.NIC, cfg Config) *Serv
 // machine had four Fast Ethernet NICs, one client machine on each).
 func NewServerMulti(k *kernel.Kernel, f *core.Facility, nics []*nic.NIC, cfg Config) *Server {
 	cfg.setDefaults()
-	if cfg.TxMode == TxSoftPaced && f == nil {
-		panic("httpserv: TxSoftPaced requires a soft-timer facility")
+	if (cfg.TxMode == TxSoftPaced || cfg.TxMode == TxPacerPaced) && f == nil {
+		panic("httpserv: soft-timer paced modes require a facility")
 	}
 	if len(nics) == 0 {
 		panic("httpserv: server needs at least one NIC")
@@ -217,8 +239,19 @@ func NewServerMulti(k *kernel.Kernel, f *core.Facility, nics []*nic.NIC, cfg Con
 	if cfg.TxMode == TxHWPaced {
 		s.pit = k.NewPIT(cfg.HWPacerPeriod, sim.Microsecond, s.hwPacerTick)
 	}
+	if cfg.TxMode == TxPacerPaced {
+		s.pacer = core.NewPacer(f, cfg.PacerInterval, cfg.PacerBurstInterval,
+			func(now sim.Time) (sim.Time, bool) {
+				cost := s.sendPacedOne()
+				return cost, len(s.txQ) > 0
+			})
+	}
 	return s
 }
+
+// Pacer returns the adaptive transmission pacer (TxPacerPaced mode only;
+// nil otherwise). Emulation rigs read its train/fire counters.
+func (s *Server) Pacer() *core.Pacer { return s.pacer }
 
 // Start arms auxiliary machinery (the HW pacer timer). Call after
 // kernel.Start.
@@ -423,8 +456,11 @@ func (s *Server) sendResponse(p *kernel.Proc, c *conn, cont func()) {
 func (s *Server) enqueuePaced(pkts []*netstack.Packet) {
 	pkts[len(pkts)-1].Mark = true
 	s.txQ = append(s.txQ, pkts...)
-	if s.cfg.TxMode == TxSoftPaced {
+	switch s.cfg.TxMode {
+	case TxSoftPaced:
 		s.armSoftPacer()
+	case TxPacerPaced:
+		s.pacer.Start() // idempotent while a train is running
 	}
 }
 

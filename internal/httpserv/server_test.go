@@ -179,6 +179,29 @@ func TestSoftPacedModeTransmitsEverything(t *testing.T) {
 	}
 }
 
+func TestPacerPacedModeHoldsTargetRate(t *testing.T) {
+	tb := NewTestbed(TestbedConfig{Seed: 6, Concurrency: 8,
+		Server: Config{Kind: Apache, TxMode: TxPacerPaced,
+			PacerInterval: 50 * sim.Microsecond, PacerBurstInterval: 10 * sim.Microsecond}})
+	res := tb.Run(sim.Second, 2*sim.Second)
+	if res.Completed < 50 {
+		t.Fatalf("pacer-paced server completed only %d", res.Completed)
+	}
+	if tb.Server.Pacer() == nil {
+		t.Fatal("TxPacerPaced built no pacer")
+	}
+	if tb.Server.PacedIntervals.N() == 0 {
+		t.Fatal("no paced intervals recorded")
+	}
+	// The adaptive pacer holds the 50 µs target (catching up at 10 µs when
+	// behind), so backlogged intervals sit near the target — unlike
+	// TxSoftPaced, which sends one packet per trigger state.
+	mean := tb.Server.PacedIntervals.Mean()
+	if mean < 25 || mean > 75 {
+		t.Fatalf("mean paced interval = %.1fus, want near the 50us target", mean)
+	}
+}
+
 func TestHWPacedModeTransmitsEverything(t *testing.T) {
 	tb := NewTestbed(TestbedConfig{Seed: 7, Concurrency: 8,
 		Server: Config{Kind: Apache, TxMode: TxHWPaced}})

@@ -270,7 +270,13 @@ type Engine struct {
 	// through it.
 	alt   EventQueue
 	qkind QueueKind
-	seq   uint64
+	// driver, when non-nil, slaves the run loop to an external clock
+	// (SetClockDriver; see ClockDriver in clock.go). The sim-mode engine
+	// never sets it, and the run loops branch on it once per *call* — not
+	// per event — so the default tight loop is untouched: same
+	// instructions, same order, same zero allocations.
+	driver ClockDriver
+	seq    uint64
 	// maxPending is the heap-depth high-water mark observed at decrease
 	// points. The true maximum depth is always attained immediately before
 	// some pop/cancel (or is the current depth), so checking only there —
@@ -303,6 +309,35 @@ func NewEngine(seed uint64) *Engine {
 // fire order — but different cost profiles (see QueueKind).
 func NewEngineWithQueue(seed uint64, kind QueueKind) *Engine {
 	return &Engine{rng: NewRNG(seed), alt: newQueueBackend(kind), qkind: kind}
+}
+
+// NewEngineWithClock is NewEngine with an explicit clock driver kind.
+// ClockSim yields an engine identical to NewEngine's (no driver at all);
+// ClockRealTime installs a fresh RealTimeClock on the real wall clock.
+// Use SetClockDriver directly to install a configured driver (a fake
+// clock, or a RealTimeClock shared with socket goroutines).
+func NewEngineWithClock(seed uint64, kind ClockKind) *Engine {
+	e := NewEngine(seed)
+	e.SetClockDriver(NewClockDriver(kind))
+	return e
+}
+
+// SetClockDriver installs (or, with nil, removes) the engine's clock
+// driver. Must be called before the engine runs; swapping drivers mid-run
+// would tear the driver's time anchor away from the virtual clock.
+func (e *Engine) SetClockDriver(d ClockDriver) { e.driver = d }
+
+// ClockDriver returns the installed driver (nil in sim mode).
+func (e *Engine) ClockDriver() ClockDriver { return e.driver }
+
+// Clock reports which clock the engine runs on: ClockSim when no driver
+// is installed, ClockRealTime otherwise (every non-nil driver slaves the
+// run loop to some external clock; the stock one is the wall clock).
+func (e *Engine) Clock() ClockKind {
+	if e.driver == nil {
+		return ClockSim
+	}
+	return ClockRealTime
 }
 
 // Queue reports which event-queue backend the engine runs on.
@@ -492,7 +527,24 @@ func (e *Engine) Step() bool {
 // hottest path: it re-checks only what a handler can change (stop state,
 // queue head) and pays no per-event function-call indirection beyond the
 // handler itself.
+//
+// Edge semantics — identical on every queue backend and clock driver, and
+// pinned by runedge_test.go:
+//
+//   - RunUntil(e.Now()) — equivalently RunFor(0) — fires every event due
+//     exactly now, including events a firing handler schedules at the
+//     current instant, and leaves the clock unchanged.
+//   - RunUntil(t) with t < e.Now() fires nothing and never moves the
+//     clock backwards: the call is a no-op. (Pending events are always at
+//     or after now, so the head check fails and the final clamp is
+//     guarded by t > now.)
+//   - If a handler calls Stop, the run ends with the clock at that
+//     handler's time; the final advance to t is skipped.
 func (e *Engine) RunUntil(t Time) {
+	if e.driver != nil {
+		e.runDriven(t, false)
+		return
+	}
 	if e.alt == nil {
 		// The default heap keeps the specialized tight loop: head peek is a
 		// slice index, no calls beyond fire.
@@ -514,12 +566,72 @@ func (e *Engine) RunUntil(t Time) {
 }
 
 // RunFor runs the simulation for d nanoseconds of simulated time.
+// RunFor(0) is RunUntil(now): it drains everything due at the current
+// instant and leaves the clock in place (see RunUntil's edge semantics).
 func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
 
-// Run fires events until the queue is empty or Stop is called.
+// Run fires events until the queue is empty or Stop is called, leaving the
+// clock at the last fired event (never beyond it). Under a clock driver
+// each firing additionally waits for the external clock to authorize it;
+// the run still ends the moment the queue drains — it does not linger
+// waiting for injected work, so driven servers use bounded RunFor slices.
 func (e *Engine) Run() {
+	if e.driver != nil {
+		e.runDriven(Infinity, true)
+		return
+	}
 	for !e.stopped && e.qlen() > 0 {
 		e.fire()
+	}
+}
+
+// runDriven is the driven run loop behind RunUntil (drain=false: advance
+// the clock to exactly t at the end) and Run (drain=true: stop when the
+// queue empties, clock left at the last event). Per iteration it peeks the
+// next due event, asks the driver to wait for its instant — or for t
+// itself when nothing is due before the horizon — and either fires on
+// authorization or runs the injected work the wait was interrupted with.
+// Injected closures run with the clock advanced to their wall-mapped
+// arrival (clamped into [now, target]), then the queue is re-evaluated:
+// injection may have scheduled something earlier than the awaited event.
+func (e *Engine) runDriven(t Time, drain bool) {
+	d := e.driver
+	d.Begin(e.now)
+	for !e.stopped {
+		var head *event
+		if e.alt != nil {
+			head = e.alt.peek()
+		} else if len(e.queue) > 0 {
+			head = e.queue[0]
+		}
+		if drain && head == nil {
+			break
+		}
+		target := t
+		due := false
+		if head != nil && head.at <= t {
+			target, due = head.at, true
+		}
+		adv, work := d.WaitUntil(target)
+		if work != nil {
+			if adv > target {
+				adv = target
+			}
+			if adv > e.now {
+				e.now = adv
+			}
+			for _, fn := range work {
+				fn()
+			}
+			continue
+		}
+		if !due {
+			break
+		}
+		e.fire()
+	}
+	if !drain && !e.stopped && t > e.now {
+		e.now = t
 	}
 }
 

@@ -71,6 +71,15 @@ type ShardGroup struct {
 	// effect on results — only on wall clock.
 	Workers int
 
+	// driver, when non-nil, paces rounds against an external clock
+	// (SetClockDriver): each round waits at the coordinator barrier until
+	// the clock authorizes the round's earliest grant. Shard engines keep
+	// nil drivers — pacing one coordinator is sound, pacing N racing
+	// engines is not — so emulation granularity under sharding is the
+	// round (the lookahead), not the event. Injected work runs at the
+	// barrier, the only instant no shard goroutine owns an engine.
+	driver ClockDriver
+
 	rounds   int64
 	messages int64
 }
@@ -106,6 +115,38 @@ func NewShardGroupWithQueue(n int, seed uint64, kind QueueKind) *ShardGroup {
 		}
 	}
 	return g
+}
+
+// SetClockDriver installs (or removes) the group's clock driver. Must be
+// called before the group runs. On a multi-shard group the driver lives on
+// the coordinator, never on the shard engines — Run itself waits at round
+// barriers; a single-shard group hands the driver straight to its lone
+// engine, where pacing is event-granular.
+func (g *ShardGroup) SetClockDriver(d ClockDriver) {
+	g.driver = d
+	if len(g.shards) == 1 {
+		g.shards[0].eng.SetClockDriver(d)
+	}
+}
+
+// ClockDriver returns the installed driver (nil in sim mode).
+func (g *ShardGroup) ClockDriver() ClockDriver { return g.driver }
+
+// waitForRound blocks until the driver authorizes virtual time at (the
+// round's earliest grant), running injected work as it arrives. It runs on
+// the coordinator between rounds, when every shard engine is quiescent, so
+// injected closures may safely touch any shard's engine — the same
+// soundness argument as assembly-time scheduling.
+func (g *ShardGroup) waitForRound(at Time) {
+	for {
+		_, work := g.driver.WaitUntil(at)
+		if work == nil {
+			return
+		}
+		for _, fn := range work {
+			fn()
+		}
+	}
 }
 
 // N returns the shard count.
@@ -235,12 +276,17 @@ func (g *ShardGroup) Run(until Time) {
 	if len(g.shards) == 1 {
 		// Single shard: a conduit cannot target its own shard (Send demands
 		// a lookahead, SetLookahead refuses self-channels), so this is
-		// exactly a legacy engine run.
+		// exactly a legacy engine run. A group driver is installed on the
+		// lone engine itself (SetClockDriver), so pacing there is
+		// event-granular, exactly as on a bare driven engine.
 		s := g.shards[0]
 		s.eng.RunUntil(until)
 		s.clock = until
 		g.now = until
 		return
+	}
+	if g.driver != nil {
+		g.driver.Begin(g.now)
 	}
 	workers := g.Workers
 	if workers == 0 {
@@ -314,6 +360,20 @@ func (g *ShardGroup) Run(until Time) {
 			break
 		}
 		g.rounds++
+
+		// Driver-aware barrier wait: pace the round against the external
+		// clock. The round's work spans [clock, grant) across shards; it is
+		// released once the clock reaches the earliest active grant, so no
+		// shard runs ahead of wall time by more than its round span.
+		if g.driver != nil {
+			earliest := until
+			for _, s := range g.shards {
+				if s.clock < s.grant && s.grant < earliest {
+					earliest = s.grant
+				}
+			}
+			g.waitForRound(earliest)
+		}
 
 		// Phase A: run every active shard to its grant.
 		if workers > 1 && active > 1 {

@@ -58,6 +58,14 @@ type Spec struct {
 	// the host count; 0 keeps the legacy single-engine path). Merged
 	// telemetry and traces are identical at any shard count.
 	Shards int
+	// Clock selects the engine's clock driver. The zero value (ClockSim)
+	// is the deterministic default and builds exactly the pre-seam
+	// topology. ClockRealTime slaves the run to the wall clock (emulation
+	// mode): Build installs a sim.RealTimeClock on the engine (or shard
+	// group) and hands its wall-mapped VirtualNow to every host's
+	// soft-timer facility as the measurement time base, so trigger
+	// intervals and firing delays are measured in real time.
+	Clock sim.ClockKind
 	// Assign, when set with Shards, maps host index (declaration order)
 	// and name to a shard id; nil round-robins by index.
 	Assign func(i int, name string) int
@@ -173,12 +181,26 @@ func Build(spec Spec) *Topology {
 		t = New(sim.NewEngine(spec.Seed))
 		t.SetSeed(spec.Seed)
 	}
+	var rtc *sim.RealTimeClock
+	if d := sim.NewClockDriver(spec.Clock); d != nil {
+		rtc, _ = d.(*sim.RealTimeClock)
+		if t.group != nil {
+			t.group.SetClockDriver(d)
+		} else {
+			t.Eng.SetClockDriver(d)
+		}
+		t.clock = rtc
+	}
 	for _, hs := range spec.Hosts {
 		cfg := host.Config{
 			Name:     hs.Name,
 			Profile:  hs.Profile,
 			Kernel:   hs.Kernel,
 			Facility: hs.Facility,
+		}
+		if rtc != nil && cfg.Facility.TimeSource == nil {
+			// Emulation: the facility measures on the wall-mapped clock.
+			cfg.Facility.TimeSource = rtc.VirtualNow
 		}
 		if hs.Faults != nil {
 			cfg.Faults = faults.New(spec.Seed^hashName(hs.Name), *hs.Faults)

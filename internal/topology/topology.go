@@ -65,6 +65,10 @@ type Topology struct {
 	flow      *FlowTrace   // flow-span tracing, when enabled
 	series    []*seriesRec // per-host series, when enabled
 	seriesIvl sim.Time
+
+	// clock is the wall-slaved driver installed by Build when
+	// Spec.Clock == ClockRealTime; nil in sim mode.
+	clock *sim.RealTimeClock
 }
 
 // New creates an empty topology on eng.
@@ -95,6 +99,19 @@ func (t *Topology) SetSeed(seed uint64) { t.seed = seed }
 
 // Group returns the shard group, or nil for single-engine topologies.
 func (t *Topology) Group() *sim.ShardGroup { return t.group }
+
+// RealClock returns the wall-slaved clock driver installed by
+// Build(Spec{Clock: ClockRealTime}), or nil in sim mode. Emulation rigs use
+// it to inject socket work into the engine and to read lag accounting.
+func (t *Topology) RealClock() *sim.RealTimeClock { return t.clock }
+
+// Clock reports which clock driver the topology runs under.
+func (t *Topology) Clock() sim.ClockKind {
+	if t.clock == nil {
+		return sim.ClockSim
+	}
+	return sim.ClockRealTime
+}
 
 // Arena returns the packet pool for a shard (use 0 on single-engine
 // topologies). Every host, link and switch assembled on that shard's
