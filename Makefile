@@ -34,7 +34,7 @@ race:
 bench:
 	$(GO) test -run 'TestTestbedPacketZeroAlloc' -count=1 ./internal/topology
 	$(GO) test -run 'TestEngineZeroAlloc' -count=1 ./internal/sim
-	$(GO) test -bench 'BenchmarkEngine|BenchmarkReschedule|BenchmarkQueueChurn' -benchmem -run '^$$' ./internal/sim
+	$(GO) test -bench 'BenchmarkEngine|BenchmarkReschedule|BenchmarkQueueChurn|BenchmarkShardRound' -benchmem -run '^$$' ./internal/sim
 	$(GO) test -bench 'BenchmarkMetrics' -benchmem -run '^$$' ./internal/metrics
 	$(GO) test -bench 'BenchmarkTestbedPacket|BenchmarkSwitchForward' -benchmem -run '^$$' ./internal/topology
 	$(GO) test -bench 'BenchmarkTCPSegment|BenchmarkTCPAck' -benchmem -run '^$$' ./internal/tcp
@@ -85,12 +85,26 @@ scenario-smoke:
 	$(GO) run ./cmd/stbench -scenario hostile >/dev/null
 
 # Sharded-execution smoke: the fleet-scale and hierarchical (leaf-spine)
-# fleet sweeps on 1 vs 4 conservative-sync engines must dump byte-identical
-# telemetry (the sharding determinism contract, end to end through stbench).
+# fleet sweeps on 1 vs 4/8 conservative-sync engines must dump
+# byte-identical telemetry (the sharding determinism contract, end to end
+# through stbench), with lookahead mining on or off and under static or
+# traffic-profiled placement. The sync.* grant telemetry varies with those
+# knobs by design, but must itself be deterministic across -parallel.
 shard-smoke:
 	$(GO) run ./cmd/stbench -exp fleet-scale -scale smoke -shards 1 -metrics /tmp/stbench-shard1.json >/dev/null
 	$(GO) run ./cmd/stbench -exp fleet-scale -scale smoke -shards 4 -metrics /tmp/stbench-shard4.json >/dev/null
 	diff /tmp/stbench-shard1.json /tmp/stbench-shard4.json
+	$(GO) run ./cmd/stbench -exp fleet-scale -scale smoke -shards 8 -metrics /tmp/stbench-shard8.json >/dev/null
+	diff /tmp/stbench-shard1.json /tmp/stbench-shard8.json
+	$(GO) run ./cmd/stbench -exp fleet-scale -scale smoke -shards 4 -mining=false -metrics /tmp/stbench-shard4nm.json >/dev/null
+	diff /tmp/stbench-shard1.json /tmp/stbench-shard4nm.json
+	$(GO) run ./cmd/stbench -exp fleet-scale -scale smoke -shards 4 -placement auto -metrics /tmp/stbench-shard4ap.json >/dev/null
+	diff /tmp/stbench-shard1.json /tmp/stbench-shard4ap.json
+	$(GO) run ./cmd/stbench -exp fleet-scale -scale smoke -shards 8 -placement auto -mining=false -metrics /tmp/stbench-shard8apnm.json >/dev/null
+	diff /tmp/stbench-shard1.json /tmp/stbench-shard8apnm.json
+	$(GO) run ./cmd/stbench -exp fleet-scale -scale smoke -shards 4 -parallel 1 -sync /tmp/stbench-sync-p1.json >/dev/null
+	$(GO) run ./cmd/stbench -exp fleet-scale -scale smoke -shards 4 -parallel 8 -sync /tmp/stbench-sync-p8.json >/dev/null
+	diff /tmp/stbench-sync-p1.json /tmp/stbench-sync-p8.json
 	$(GO) run ./cmd/stbench -exp fleet-hier -scale smoke -shards 1 -metrics /tmp/stbench-hier1.json >/dev/null
 	$(GO) run ./cmd/stbench -exp fleet-hier -scale smoke -shards 4 -metrics /tmp/stbench-hier4.json >/dev/null
 	diff /tmp/stbench-hier1.json /tmp/stbench-hier4.json

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"softtimers/internal/faults"
 	"softtimers/internal/host"
 	"softtimers/internal/httpserv"
 	"softtimers/internal/kernel"
@@ -53,6 +54,15 @@ type FleetResult struct {
 	Rows      []FleetRow
 	Shards    int // engines per row (0 = legacy single engine)
 	Telemetry *metrics.Snapshot
+	// Sync is the conservative-sync grant telemetry (sync.* instruments),
+	// merged across rows under clientsNN. prefixes; nil on single-engine
+	// runs. It is deliberately separate from Telemetry: workload telemetry
+	// is byte-identical across shard counts by contract, sync telemetry
+	// describes the execution substrate — but for a fixed configuration it
+	// is still deterministic at any worker count (stbench -sync).
+	Sync *metrics.Snapshot
+
+	rowSync []*metrics.Snapshot // per row, nil when single-engine
 }
 
 // fleetProbe keeps one probe soft-timer event outstanding on a host,
@@ -98,44 +108,61 @@ func runMeasured(sc Scale, label string, t *topology.Topology, measure sim.Time)
 // runFleet builds and measures one fleet size: a server host and n client
 // hosts joined by one switch, every machine probed for soft-timer delay.
 func runFleet(sc Scale, salt uint64, n int) (FleetRow, *metrics.Snapshot) {
-	row, snap, _ := runFleetOpts(sc, salt, n, 0)
+	row, snap, _, _ := runFleetCfg(sc, salt, n, fleetOpts{})
 	return row, snap
 }
 
-// runFleetOpts is runFleet plus tracing: traceCap > 0 attaches a per-host
-// execution tracer of that capacity and returns the merged Chrome trace —
-// the byte-equivalence witness for the sharded/legacy property tests.
-//
-// sc.Shards > 0 runs the topology on that many conservative-sync engines
-// (clamped to the host count): the server owns shard 0 — so its
-// construction-time RNG forks replay exactly as on the legacy shared
-// engine, which is seeded identically — and clients round-robin the rest.
+// runFleetOpts is runFleet plus tracing (the property tests' entry point);
+// see runFleetCfg for the full option set.
 func runFleetOpts(sc Scale, salt uint64, n, traceCap int) (FleetRow, *metrics.Snapshot, []byte) {
-	seed := sc.Seed + salt
-	var t *topology.Topology
-	if sc.Shards > 0 {
-		shards := sc.Shards
-		if shards > n+1 {
-			shards = n + 1
+	row, snap, _, chrome := runFleetCfg(sc, salt, n, fleetOpts{traceCap: traceCap})
+	return row, snap, chrome
+}
+
+// fleetOpts widens runFleet for the property tests and ablations without
+// threading more positional parameters around.
+type fleetOpts struct {
+	// traceCap > 0 attaches a per-host execution tracer of that capacity;
+	// the merged Chrome trace comes back as the fourth return.
+	traceCap int
+	// scenario names a faults scenario applied to every host (each seeded
+	// from (seed, name) like Spec builds, so placement cannot perturb the
+	// fault streams); "" is the clean fleet.
+	scenario string
+}
+
+// fnvName folds a host name into a 64-bit FNV-1a salt — the same fold
+// topology Spec builds use — so per-host fault plans draw streams
+// independent of host order and shard placement.
+func fnvName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// assembleFleet builds the fleet workload on an already-constructed
+// topology: the saturated server, n client machines on one switched LAN,
+// and a soft-timer probe on every host. Shared verbatim between the
+// measured run and the auto-placement profile pass, so the profile
+// observes exactly the traffic the real run will carry.
+func assembleFleet(t *topology.Topology, seed uint64, n int, scenario string) (*httpserv.Server, []*host.Host) {
+	var fspec *faults.Spec
+	if scenario != "" {
+		s := faults.MustScenario(scenario)
+		fspec = &s
+	}
+	hostCfg := func(name string, k kernel.Options) host.Config {
+		cfg := host.Config{Name: name, Kernel: k}
+		if fspec != nil {
+			cfg.Faults = faults.New(seed^fnvName(name), *fspec)
 		}
-		g := sim.NewShardGroupWithQueue(shards, seed, sc.Queue)
-		g.Workers = sc.Workers
-		t = topology.NewSharded(g, seed)
-		t.Assign = func(i int, name string) int {
-			if i == 0 || shards == 1 {
-				return 0
-			}
-			return 1 + (i-1)%(shards-1)
-		}
-	} else {
-		t = topology.New(sim.NewEngineWithQueue(seed, sc.Queue))
-		t.SetSeed(seed)
+		return cfg
 	}
 
-	server := t.AddHost(host.Config{
-		Name:   "server",
-		Kernel: kernel.Options{IdleLoop: true},
-	})
+	server := t.AddHost(hostCfg("server", kernel.Options{IdleLoop: true}))
 	sw := t.AddSwitch("lan")
 	t.Join(sw, server, nic.Config{Name: "eth0"}, topology.WireSpec{})
 	srv := httpserv.NewServerMulti(server.K, server.F, server.NICs,
@@ -148,7 +175,7 @@ func runFleetOpts(sc Scale, salt uint64, n, traceCap int) (FleetRow, *metrics.Sn
 	clients := make([]*host.Host, n)
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("client%02d", i)
-		ch := t.AddHost(host.Config{Name: name})
+		ch := t.AddHost(hostCfg(name, kernel.Options{}))
 		port := t.Join(sw, ch, nic.Config{Name: "eth0"}, topology.WireSpec{})
 		httpserv.NewClientHost(ch, port.NIC, httpserv.ClientHostConfig{
 			Concurrency: 4,
@@ -170,7 +197,72 @@ func runFleetOpts(sc Scale, salt uint64, n, traceCap int) (FleetRow, *metrics.Sn
 	for _, h := range t.Hosts() {
 		fleetProbe(h, h.Rand())
 	}
+	return srv, clients
+}
 
+// fleetAutoAssign is the auto-placement profile pass: replay the same
+// fleet single-engine for a quarter warmup, then spread hosts over shards
+// by observed traffic (topology.PlaceByTraffic). The profile is itself a
+// deterministic simulation, so the placement — and with it the sharded
+// round schedule — is a pure function of the scale, not of the machine.
+func fleetAutoAssign(sc Scale, seed uint64, n, shards int, scenario string) func(int, string) int {
+	t := topology.New(sim.NewEngineWithQueue(seed, sc.Queue))
+	t.SetSeed(seed)
+	srv, _ := assembleFleet(t, seed, n, scenario)
+	t.Start()
+	srv.Start()
+	t.RunFor(sc.Warmup / 4)
+	names := make([]string, 0, len(t.Hosts()))
+	for _, h := range t.Hosts() {
+		names = append(names, h.Name)
+	}
+	return topology.PlaceByTraffic(names, t.TrafficByHost(), shards)
+}
+
+// runFleetCfg is runFleet plus tracing, fault scenarios, and the sync
+// telemetry return (see fleetOpts).
+//
+// sc.Shards > 0 runs the topology on that many conservative-sync engines
+// (clamped to the host count). The default static placement gives the
+// server shard 0 — so its construction-time RNG forks replay exactly as
+// on the legacy shared engine, which is seeded identically — and
+// round-robins clients across the rest; sc.Placement == PlacementAuto
+// derives the assignment from a traffic profile instead. Lookahead mining
+// is on unless sc.NoMining. None of these knobs change results — only
+// wall clock and the sync snapshot.
+func runFleetCfg(sc Scale, salt uint64, n int, opt fleetOpts) (FleetRow, *metrics.Snapshot, *metrics.Snapshot, []byte) {
+	seed := sc.Seed + salt
+	var t *topology.Topology
+	if sc.Shards > 0 {
+		shards := sc.Shards
+		if shards > n+1 {
+			shards = n + 1
+		}
+		g := sim.NewShardGroupWithQueue(shards, seed, sc.Queue)
+		g.Workers = sc.Workers
+		g.SetMining(!sc.NoMining)
+		t = topology.NewSharded(g, seed)
+		switch sc.Placement {
+		case "", PlacementStatic:
+			t.Assign = func(i int, name string) int {
+				if i == 0 || shards == 1 {
+					return 0
+				}
+				return 1 + (i-1)%(shards-1)
+			}
+		case PlacementAuto:
+			t.Assign = fleetAutoAssign(sc, seed, n, shards, opt.scenario)
+		default:
+			panic(fmt.Sprintf("experiments: unknown placement %q", sc.Placement))
+		}
+	} else {
+		t = topology.New(sim.NewEngineWithQueue(seed, sc.Queue))
+		t.SetSeed(seed)
+	}
+
+	srv, clients := assembleFleet(t, seed, n, opt.scenario)
+	server := t.Host("server")
+	traceCap := opt.traceCap
 	if traceCap > 0 {
 		t.EnableTracing(traceCap)
 	}
@@ -232,7 +324,7 @@ func runFleetOpts(sc Scale, salt uint64, n, traceCap int) (FleetRow, *metrics.Sn
 		}
 		chrome = buf.Bytes()
 	}
-	return row, t.Snapshot(), chrome
+	return row, t.Snapshot(), t.SyncSnapshot(), chrome
 }
 
 // RunFleetScale sweeps the client-host count (sc.FleetCounts, default
@@ -246,10 +338,19 @@ func RunFleetScale(sc Scale) *FleetResult {
 	}
 	rows := make([]FleetRow, len(counts))
 	snaps := make([]*metrics.Snapshot, len(counts))
+	syncs := make([]*metrics.Snapshot, len(counts))
 	forEach(sc.Workers, len(counts), func(i int) {
-		rows[i], snaps[i] = runFleet(sc, 300+uint64(i), counts[i])
+		rows[i], snaps[i], syncs[i], _ = runFleetCfg(sc, 300+uint64(i), counts[i], fleetOpts{})
 	})
-	return &FleetResult{Rows: rows, Shards: sc.Shards, Telemetry: mergeTelemetry(snaps)}
+	r := &FleetResult{Rows: rows, Shards: sc.Shards, Telemetry: mergeTelemetry(snaps), rowSync: syncs}
+	prefixed := make([]*metrics.Snapshot, len(counts))
+	for i, s := range syncs {
+		if s != nil {
+			prefixed[i] = s.Prefixed(fmt.Sprintf("clients%02d.", counts[i]))
+		}
+	}
+	r.Sync = mergeTelemetry(prefixed)
+	return r
 }
 
 // Table renders the fleet sweep.
@@ -261,7 +362,7 @@ func (r *FleetResult) Table() *Table {
 			"probes", "worst d (us)", "bound (us)", "bound holds"},
 		Metrics: map[string]float64{},
 	}
-	for _, row := range r.Rows {
+	for i, row := range r.Rows {
 		trig := fmt.Sprintf("%s..%s", f0(row.ClientTrigMinUS), f0(row.ClientTrigMaxUS))
 		ok := "yes"
 		if !row.BoundOK {
@@ -277,6 +378,21 @@ func (r *FleetResult) Table() *Table {
 		t.Metrics[key+"_throughput"] = row.Throughput
 		t.Metrics[key+"_worst_delay_us"] = row.WorstDelay
 		t.Metrics[key+"_wall_ms"] = row.WallMS
+		// Sync headline numbers ride the machine-readable -json record only
+		// (like WallMS): they are deterministic per configuration but vary
+		// with shard count by nature, so they stay out of the rendered
+		// table and the -metrics telemetry, which diff across shard counts.
+		if i < len(r.rowSync) && r.rowSync[i] != nil {
+			s := r.rowSync[i]
+			t.Metrics[key+"_sync_rounds"] = float64(s.Counters["sync.rounds"])
+			t.Metrics[key+"_sync_messages"] = float64(s.Counters["sync.messages"])
+			if h, ok := s.Histograms["sync.grant_width_us"]; ok && h.Count > 0 {
+				t.Metrics[key+"_sync_grant_mean_us"] = h.Sum / float64(h.Count)
+			}
+			if h, ok := s.Histograms["sync.mined_gain_us"]; ok && h.Count > 0 {
+				t.Metrics[key+"_sync_mined_gain_mean_us"] = h.Sum / float64(h.Count)
+			}
+		}
 	}
 	t.Notes = append(t.Notes,
 		"every machine is a full host (own kernel, facility, probe); clients halt when idle, so their soft timers lean on the hardclock backstop",
@@ -286,5 +402,6 @@ func (r *FleetResult) Table() *Table {
 			"sharded execution: each row ran on up to %d engines under conservative sync; tables, telemetry and traces are byte-identical to the single-engine path (wall time in -json metrics)", r.Shards))
 	}
 	t.Telemetry = r.Telemetry
+	t.Sync = r.Sync
 	return t
 }

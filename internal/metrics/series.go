@@ -187,8 +187,19 @@ func (s *SeriesSnapshot) Merge(other *SeriesSnapshot) {
 		return
 	}
 	if len(s.TimesNS) == 0 && len(s.Series) == 0 {
-		// Empty receiver adopts wholesale.
-		s.IntervalNS, s.Capacity, s.Stride = other.IntervalNS, other.Capacity, other.Stride
+		// Empty receiver adopts wholesale — but a receiver that already has
+		// a cadence configured (interval set, no points yet) is not a blank
+		// slate: silently overwriting its IntervalNS/Capacity would let a
+		// mis-cadenced snapshot slip through exactly where the non-empty
+		// path panics. Enforce the same contract here.
+		if s.IntervalNS != 0 && s.IntervalNS != other.IntervalNS {
+			panic(fmt.Sprintf("metrics: merging series with mismatched intervals %d and %d",
+				s.IntervalNS, other.IntervalNS))
+		}
+		s.IntervalNS, s.Stride = other.IntervalNS, other.Stride
+		if s.Capacity == 0 {
+			s.Capacity = other.Capacity
+		}
 		s.TimesNS = append([]int64(nil), other.TimesNS...)
 		if s.Series == nil {
 			s.Series = make(map[string]SeriesColumn, len(other.Series))

@@ -183,6 +183,37 @@ func TestSeriesMergeEmptyAdopts(t *testing.T) {
 	}
 }
 
+// A receiver with a cadence configured but no points yet (a set that
+// never sampled, or a hand-built accumulator) is not a blank slate: it
+// must reject a mismatched-interval source exactly like the non-empty
+// path, not silently adopt the foreign IntervalNS/Capacity. Regression:
+// the empty-receiver branch used to overwrite both.
+func TestSeriesMergeEmptyKeepsConfiguredCadence(t *testing.T) {
+	mk := func(interval int64) *SeriesSnapshot {
+		ss := NewSeriesSet(interval, 4)
+		ss.Add("x", MergeSum, func() float64 { return 1 })
+		ss.Sample(interval)
+		return ss.Snapshot()
+	}
+
+	// Same interval: adoption proceeds, and the receiver's configured
+	// capacity survives.
+	dst := &SeriesSnapshot{IntervalNS: 10, Capacity: 8}
+	dst.Merge(mk(10))
+	if dst.IntervalNS != 10 || dst.Capacity != 8 || len(dst.TimesNS) != 1 {
+		t.Fatalf("same-interval adoption mangled config: %+v", dst)
+	}
+
+	// Mismatched interval: panic, like the non-empty path.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty receiver with IntervalNS=10 adopted an IntervalNS=20 snapshot without panicking")
+		}
+	}()
+	bad := &SeriesSnapshot{IntervalNS: 10}
+	bad.Merge(mk(20))
+}
+
 // Merging snapshots whose strides diverged (one ring decimated more than
 // the other) decimates the finer one onto the coarser grid first.
 func TestSeriesMergeAcrossStrides(t *testing.T) {

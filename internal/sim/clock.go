@@ -47,6 +47,11 @@ import (
 //     clock, runs the closures, and re-evaluates the queue — an injected
 //     closure may have scheduled something earlier than the event it
 //     interrupted the wait for.
+//   - A nil and an empty work slice are equivalent: len(work) == 0 means
+//     the wait completed. Both wait loops (Engine.runDriven and
+//     ShardGroup.waitForRound) terminate on len(work) == 0, so a driver
+//     that hands back empty non-nil batches cannot spin them, and a
+//     conforming driver only returns early with at least one closure.
 type ClockDriver interface {
 	Begin(now Time)
 	WaitUntil(at Time) (adv Time, work []func())
@@ -253,7 +258,10 @@ func (c *RealTimeClock) takePending() []func() {
 // WaitUntil implements ClockDriver; see the interface contract.
 func (c *RealTimeClock) WaitUntil(at Time) (Time, []func()) {
 	for {
-		if work := c.takePending(); work != nil {
+		// Guard on len, not nil: an (impossible today, but cheap to rule
+		// out) empty pending batch must not count as an early return — the
+		// ClockDriver contract reserves len(work) == 0 for "wait completed".
+		if work := c.takePending(); len(work) > 0 {
 			c.injected += int64(len(work))
 			return c.VirtualNow(), work
 		}

@@ -360,6 +360,25 @@ func (e *Engine) Rand() *RNG { return e.rng }
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return e.qlen() }
 
+// EarliestPending returns the time of the earliest queued event, or
+// (0, false) when the queue is empty. It reads the queue head through the
+// same peek the run loop uses (EventQueue.peek on alternate backends, the
+// heap root inline), mutating nothing — conservative sync's lookahead
+// mining asks every round, on every shard, so the probe must stay O(1)-ish
+// and side-effect free.
+func (e *Engine) EarliestPending() (Time, bool) {
+	var head *event
+	if e.alt != nil {
+		head = e.alt.peek()
+	} else if len(e.queue) > 0 {
+		head = e.queue[0]
+	}
+	if head == nil {
+		return 0, false
+	}
+	return head.at, true
+}
+
 // FreeListLen returns the number of recycled events awaiting reuse (for
 // tests and introspection).
 func (e *Engine) FreeListLen() int { return len(e.free) }
@@ -613,7 +632,10 @@ func (e *Engine) runDriven(t Time, drain bool) {
 			target, due = head.at, true
 		}
 		adv, work := d.WaitUntil(target)
-		if work != nil {
+		// len(work)==0 — nil or an empty batch — means the wait completed;
+		// only non-empty batches loop back, so a driver handing out empty
+		// slices cannot spin the run loop without advancing it.
+		if len(work) > 0 {
 			if adv > target {
 				adv = target
 			}

@@ -17,6 +17,28 @@ package sim
 // single-threaded, and the grant rule guarantees each message is injected
 // strictly before its destination's clock reaches the message timestamp.
 //
+// Lookahead mining (on by default, SetMining) raises grants past the
+// static rule by asking each engine for its earliest pending event
+// (Engine.EarliestPending — an O(1) queue peek). A shard cannot execute a
+// handler, and therefore cannot emit a message, before the earliest event
+// it could ever run; that time is not its own queue head alone, because a
+// peer may still deliver work that executes earlier, so the coordinator
+// relaxes
+//
+//	bound[s] = min(earliestPending(s), min over inbound j of bound[j]+la[j][s])
+//
+// to a fixpoint and grants dst
+//
+//	grant[dst] = min over inbound src of (bound[src] + la[src][dst])
+//
+// in place of clock[src]+la[src][dst]. bound[s] >= clock[s] always (own
+// pending events are at or after the clock, and every inbound term is at
+// least the previous barrier's grant), so mined grants dominate static
+// ones: rounds with mining are never more numerous, and an idle low-delay
+// link no longer serializes the group. Mining changes round boundaries
+// only — never event order — so results stay byte-identical with it on or
+// off, at any shard count.
+//
 // A flushed message becomes an ordinary pending event in the destination
 // engine's arrival band (Engine.AtArrival): its heap key is (time,
 // conduit, seq), where conduit ids are assigned at topology-assembly time
@@ -38,6 +60,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"softtimers/internal/stats"
 )
 
 // shardMsg is one cross-shard message: fn runs on the destination shard's
@@ -57,7 +81,47 @@ type shard struct {
 	clock Time // committed: the shard has executed everything before clock
 	grant Time // this round's horizon
 
+	sgrant Time // the static (clock+lookahead) grant, for mined-gain telemetry
+	pend   Time // own earliest pending event this round (until-clamped)
+	bind   int  // inbound shard binding this round's grant; -1 = the run horizon
+
 	out []shardMsg // messages emitted this round, flushed at the barrier
+}
+
+// ShardSyncStats is one shard's slice of the group's grant-utilization
+// telemetry. Widths are virtual nanoseconds summed over the shard's
+// active rounds.
+type ShardSyncStats struct {
+	Rounds       int64 // rounds the shard was active (clock < grant)
+	GrantedNS    int64 // sum of granted horizon widths (grant − clock)
+	ReachedNS    int64 // sum of the executable span covered (grant − first due event; 0 when idle)
+	MinedGainNS  int64 // sum of mined − static grant (0 with mining off)
+	IdleRounds   int64 // active rounds with nothing due below the grant: pure clock advance
+	HorizonBound int64 // rounds where the run horizon, not an inbound channel, bound the grant
+}
+
+// SyncStats is the conservative-sync grant-utilization telemetry a
+// multi-shard Run accumulates: how wide the rounds were, how much of each
+// granted horizon contained executable work, what mining bought, and
+// which inbound channel was each shard's binding constraint. Everything
+// here is a pure function of virtual state — identical at any worker
+// count — and is kept out of the workload telemetry snapshot, which stays
+// byte-identical across shard counts by contract.
+type SyncStats struct {
+	Rounds            int64 // coordinator rounds executed
+	Messages          int64 // cross-shard messages flushed
+	ActiveShardRounds int64 // sum of round widths: one count per (round, active shard)
+
+	Shards []ShardSyncStats
+
+	// Binding[src][dst] counts rounds where the src→dst channel was the
+	// binding constraint on dst's grant (lowest src index on ties).
+	// Horizon-bound rounds land in Shards[dst].HorizonBound instead.
+	Binding [][]int64
+
+	GrantWidthUS *stats.Histogram // granted width per active shard-round, µs
+	MinedGainUS  *stats.Histogram // mined − static grant per active shard-round, µs
+	RoundWidth   *stats.Histogram // active shards per round
 }
 
 // ShardGroup owns N engines and runs them under conservative sync.
@@ -77,11 +141,22 @@ type ShardGroup struct {
 	// nil drivers — pacing one coordinator is sound, pacing N racing
 	// engines is not — so emulation granularity under sharding is the
 	// round (the lookahead), not the event. Injected work runs at the
-	// barrier, the only instant no shard goroutine owns an engine.
+	// barrier, the only instant no shard goroutine owns an engine — and
+	// since an injected closure may schedule events anywhere, the round's
+	// grants are recomputed from scratch after any batch runs.
 	driver ClockDriver
+
+	// mine enables pacing-aware lookahead mining (see the package comment;
+	// on by default). started flips at the first Run and freezes the
+	// channel topology: grants are derived from lookaheads mid-round, so
+	// changing them with rounds in flight would silently unsound the sync.
+	mine    bool
+	started bool
 
 	rounds   int64
 	messages int64
+	bound    []Time // per-shard mining bound, scratch reused every round
+	sstats   SyncStats
 }
 
 // NewShardGroup creates n engines. Shard 0's engine is seeded exactly
@@ -103,6 +178,8 @@ func NewShardGroupWithQueue(n int, seed uint64, kind QueueKind) *ShardGroup {
 	g := &ShardGroup{
 		shards: make([]*shard, n),
 		la:     make([][]Time, n),
+		mine:   true,
+		bound:  make([]Time, n),
 	}
 	for i := 0; i < n; i++ {
 		g.shards[i] = &shard{
@@ -114,15 +191,30 @@ func NewShardGroupWithQueue(n int, seed uint64, kind QueueKind) *ShardGroup {
 			g.la[i][j] = -1
 		}
 	}
+	g.sstats.Shards = make([]ShardSyncStats, n)
+	g.sstats.Binding = make([][]int64, n)
+	for i := range g.sstats.Binding {
+		g.sstats.Binding[i] = make([]int64, n)
+	}
+	// Grant widths in fleets sit between the minimum link lookahead (tens
+	// of µs) and the idle stretches mining unlocks; 5 µs buckets to ~20 ms
+	// keep both ends visible without the histogram dominating the group.
+	g.sstats.GrantWidthUS = stats.NewHistogram(5, 4096)
+	g.sstats.MinedGainUS = stats.NewHistogram(5, 4096)
+	g.sstats.RoundWidth = stats.NewHistogram(1, n+2)
 	return g
 }
 
 // SetClockDriver installs (or removes) the group's clock driver. Must be
-// called before the group runs. On a multi-shard group the driver lives on
-// the coordinator, never on the shard engines — Run itself waits at round
-// barriers; a single-shard group hands the driver straight to its lone
-// engine, where pacing is event-granular.
+// called before the group runs — it panics once the first Run begins. On
+// a multi-shard group the driver lives on the coordinator, never on the
+// shard engines — Run itself waits at round barriers; a single-shard
+// group hands the driver straight to its lone engine, where pacing is
+// event-granular.
 func (g *ShardGroup) SetClockDriver(d ClockDriver) {
+	if g.started {
+		panic("sim: SetClockDriver after the shard group has run")
+	}
 	g.driver = d
 	if len(g.shards) == 1 {
 		g.shards[0].eng.SetClockDriver(d)
@@ -132,17 +224,38 @@ func (g *ShardGroup) SetClockDriver(d ClockDriver) {
 // ClockDriver returns the installed driver (nil in sim mode).
 func (g *ShardGroup) ClockDriver() ClockDriver { return g.driver }
 
+// SetMining enables or disables pacing-aware lookahead mining (the
+// default is on). Like Workers it never changes results — only round
+// boundaries, wall clock, and the SyncStats utilization telemetry — but
+// it must be chosen before the group runs: grants from mixed rules would
+// make the mined-gain accounting meaningless.
+func (g *ShardGroup) SetMining(on bool) {
+	if g.started {
+		panic("sim: SetMining after the shard group has run")
+	}
+	g.mine = on
+}
+
+// MiningEnabled reports whether lookahead mining is on.
+func (g *ShardGroup) MiningEnabled() bool { return g.mine }
+
 // waitForRound blocks until the driver authorizes virtual time at (the
 // round's earliest grant), running injected work as it arrives. It runs on
 // the coordinator between rounds, when every shard engine is quiescent, so
 // injected closures may safely touch any shard's engine — the same
-// soundness argument as assembly-time scheduling.
-func (g *ShardGroup) waitForRound(at Time) {
+// soundness argument as assembly-time scheduling. It reports whether any
+// injected work ran: injected closures can schedule events below the
+// round's mined bounds, so the caller must recompute grants before
+// releasing the shards. A nil or empty work slice means the wait
+// completed (the ClockDriver contract) — only non-empty batches keep
+// waiting, so a driver handing back empty slices cannot spin the barrier.
+func (g *ShardGroup) waitForRound(at Time) (injected bool) {
 	for {
 		_, work := g.driver.WaitUntil(at)
-		if work == nil {
-			return
+		if len(work) == 0 {
+			return injected
 		}
+		injected = true
 		for _, fn := range work {
 			fn()
 		}
@@ -196,13 +309,29 @@ func (g *ShardGroup) InFlight() int {
 // Stats reports synchronization work done so far.
 func (g *ShardGroup) Stats() (rounds, messages int64) { return g.rounds, g.messages }
 
+// SyncStats returns the group's grant-utilization telemetry. The pointer
+// shares the group's live accumulator: read it between Run calls and do
+// not mutate it. A single-shard group never rounds, so everything stays
+// zero there.
+func (g *ShardGroup) SyncStats() *SyncStats {
+	g.sstats.Rounds = g.rounds
+	g.sstats.Messages = g.messages
+	return &g.sstats
+}
+
 // SetLookahead declares (or tightens) the lookahead of the src→dst
 // channel: every message sent on it must be timestamped at least d past
 // the sender's clock. d must be positive — a zero-lookahead channel would
 // deadlock conservative sync — and the effective lookahead is the minimum
 // over all declarations, so callers register each link's propagation
-// delay and the channel gets the tightest one.
+// delay and the channel gets the tightest one. Like the rest of the
+// channel topology it is assembly-time only: calling it once the group
+// has run panics, because rounds already in flight were granted under the
+// old lookaheads.
 func (g *ShardGroup) SetLookahead(src, dst int, d Time) {
+	if g.started {
+		panic("sim: SetLookahead after the shard group has run")
+	}
 	if src == dst {
 		panic("sim: lookahead from a shard to itself")
 	}
@@ -230,8 +359,13 @@ type Conduit struct {
 
 // NewConduit registers a conduit sending from shard src under the given
 // arrival-band conduit id. Ids must be non-negative and should be unique
-// per message source (the (conduit, seq) key must be).
+// per message source (the (conduit, seq) key must be). Conduits are part
+// of the assembly-time channel topology, so registering one after the
+// group has run panics like SetLookahead.
 func (g *ShardGroup) NewConduit(src int, id int32) *Conduit {
+	if g.started {
+		panic("sim: NewConduit after the shard group has run")
+	}
 	if src < 0 || src >= len(g.shards) {
 		panic(fmt.Sprintf("sim: conduit source shard %d out of range", src))
 	}
@@ -261,6 +395,110 @@ func (c *Conduit) Send(dst int, at Time, seq uint64, fn func()) {
 	src.out = append(src.out, shardMsg{at: at, conduit: c.id, dst: int32(dst), seq: seq, fn: fn})
 }
 
+// computeGrants derives every shard's grant for the next round from the
+// clocks committed at the previous barrier, the run horizon, and — with
+// mining on — the engines' earliest pending events. It returns the number
+// of shards with work to do (clock < grant) and, when exactly one is
+// active, which.
+func (g *ShardGroup) computeGrants(until Time) (active int, only *shard) {
+	n := len(g.shards)
+
+	// bound[i]: the earliest virtual time shard i could execute anything
+	// from here on — its own queue head, lowered transitively by what
+	// peers could still deliver. until stands in for "nothing before the
+	// horizon": it only ever produces grants that clamp at until, and it
+	// keeps the arithmetic far from overflow.
+	for i, s := range g.shards {
+		b := until
+		if t, ok := s.eng.EarliestPending(); ok && t < until {
+			b = t
+		}
+		s.pend = b
+		g.bound[i] = b
+	}
+	if g.mine && n > 1 {
+		// Relax to a fixpoint (Bellman-Ford over the channel graph; no
+		// negative cycles since lookaheads are positive, so it terminates
+		// in at most n sweeps). The naive per-shard rule — grant straight
+		// from the sender's queue head — is transitively unsound: an
+		// upstream peer can wake an empty-looking sender well before its
+		// own head event.
+		for changed := true; changed; {
+			changed = false
+			for d := 0; d < n; d++ {
+				for s := 0; s < n; s++ {
+					la := g.la[s][d]
+					if la < 0 {
+						continue
+					}
+					if b := g.bound[s] + la; b < g.bound[d] {
+						g.bound[d] = b
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, s := range g.shards {
+		grant, sgrant := until, until
+		bind := -1
+		for j := 0; j < n; j++ {
+			la := g.la[j][s.id]
+			if la < 0 {
+				continue
+			}
+			if h := g.shards[j].clock + la; h < sgrant {
+				sgrant = h
+			}
+			eff := g.shards[j].clock
+			if g.mine {
+				eff = g.bound[j] // bound >= clock always; mined grants dominate static
+			}
+			if h := eff + la; h < grant {
+				grant = h
+				bind = j
+			}
+		}
+		s.grant, s.sgrant, s.bind = grant, sgrant, bind
+		if s.clock < s.grant {
+			active++
+			only = s
+		}
+	}
+	return active, only
+}
+
+// recordRound folds one about-to-run round into the sync telemetry.
+func (g *ShardGroup) recordRound(active int) {
+	st := &g.sstats
+	st.ActiveShardRounds += int64(active)
+	st.RoundWidth.Add(float64(active))
+	for _, s := range g.shards {
+		if s.clock >= s.grant {
+			continue
+		}
+		ss := &st.Shards[s.id]
+		ss.Rounds++
+		width := int64(s.grant - s.clock)
+		ss.GrantedNS += width
+		st.GrantWidthUS.Add(float64(width) / 1e3)
+		gain := int64(s.grant - s.sgrant)
+		ss.MinedGainNS += gain
+		st.MinedGainUS.Add(float64(gain) / 1e3)
+		if s.pend <= s.grant {
+			ss.ReachedNS += int64(s.grant - s.pend)
+		} else {
+			ss.IdleRounds++
+		}
+		if s.bind >= 0 {
+			st.Binding[s.bind][s.id]++
+		} else {
+			ss.HorizonBound++
+		}
+	}
+}
+
 // RunFor advances every shard by d.
 func (g *ShardGroup) RunFor(d Time) { g.Run(g.now + d) }
 
@@ -273,6 +511,7 @@ func (g *ShardGroup) Run(until Time) {
 	if until < g.now {
 		panic("sim: shard group run target before group clock")
 	}
+	g.started = true
 	if len(g.shards) == 1 {
 		// Single shard: a conduit cannot target its own shard (Send demands
 		// a lookahead, SetLookahead refuses self-channels), so this is
@@ -325,9 +564,9 @@ func (g *ShardGroup) Run(until Time) {
 		// the previous round (or during assembly, on the first iteration)
 		// becomes an arrival-band event on its destination engine. The grant
 		// rule makes this sound: a message emitted by src during round r is
-		// timestamped past src's round-(r-1) clock plus the channel
+		// timestamped past src's round-(r-1) mining bound plus the channel
 		// lookahead, which bounds every other shard's round-r grant — so the
-		// destination's clock is still strictly below the timestamp here.
+		// destination's clock is still at or below the timestamp here.
 		for _, s := range g.shards {
 			for _, m := range s.out {
 				g.shards[m.dst].eng.AtArrival(m.at, m.conduit, m.seq, "", m.fn)
@@ -336,35 +575,20 @@ func (g *ShardGroup) Run(until Time) {
 			s.out = s.out[:0]
 		}
 
-		// Grants from the clocks committed at the previous barrier.
-		active := 0
-		var only *shard
-		for _, s := range g.shards {
-			grant := until
-			for j := range g.shards {
-				la := g.la[j][s.id]
-				if la < 0 {
-					continue
-				}
-				if h := g.shards[j].clock + la; h < grant {
-					grant = h
-				}
-			}
-			s.grant = grant
-			if s.clock < s.grant {
-				active++
-				only = s
-			}
-		}
+		active, only := g.computeGrants(until)
 		if active == 0 {
 			break
 		}
-		g.rounds++
 
 		// Driver-aware barrier wait: pace the round against the external
 		// clock. The round's work spans [clock, grant) across shards; it is
 		// released once the clock reaches the earliest active grant, so no
-		// shard runs ahead of wall time by more than its round span.
+		// shard runs ahead of wall time by more than its round span. If
+		// injected work ran at the barrier it may have scheduled events
+		// below the grants just computed (mined bounds especially), so loop
+		// back: re-flush anything it sent and recompute from the new queue
+		// state. Committed clocks never move, so grants only ever tighten
+		// toward values that are still sound.
 		if g.driver != nil {
 			earliest := until
 			for _, s := range g.shards {
@@ -372,8 +596,12 @@ func (g *ShardGroup) Run(until Time) {
 					earliest = s.grant
 				}
 			}
-			g.waitForRound(earliest)
+			if g.waitForRound(earliest) {
+				continue
+			}
 		}
+		g.rounds++
+		g.recordRound(active)
 
 		// Phase A: run every active shard to its grant.
 		if workers > 1 && active > 1 {
@@ -402,6 +630,27 @@ func (g *ShardGroup) Run(until Time) {
 				s.clock = s.grant
 			}
 		}
+	}
+
+	// The loop only exits with every clock at until (a lagging shard is
+	// always active: its grant exceeds the minimum clock by at least one
+	// positive lookahead). Mining can land a message timestamped exactly
+	// at a receiver's committed horizon — the receiver reached until a
+	// round early, then the sender's horizon-stamped message was flushed
+	// above after the receiver had already run — so fire those stragglers
+	// with one more inclusive pass. Anything a straggler emits is at least
+	// a lookahead past until: flush it as an ordinary future event.
+	for _, s := range g.shards {
+		if t, ok := s.eng.EarliestPending(); ok && t <= until {
+			s.eng.RunUntil(until)
+		}
+	}
+	for _, s := range g.shards {
+		for _, m := range s.out {
+			g.shards[m.dst].eng.AtArrival(m.at, m.conduit, m.seq, "", m.fn)
+		}
+		g.messages += int64(len(s.out))
+		s.out = s.out[:0]
 	}
 	g.now = until
 }

@@ -1,0 +1,187 @@
+package topology
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"softtimers/internal/kernel"
+	"softtimers/internal/netstack"
+	"softtimers/internal/sim"
+)
+
+// PlaceByTraffic is deterministic greedy LPT: hottest host first to the
+// lightest shard, ties by add order and lowest shard id, unknown hosts
+// round-robin by index.
+func TestPlaceByTraffic(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	traffic := []int64{10, 100, 60, 50, 10}
+	assign := PlaceByTraffic(names, traffic, 2)
+
+	// LPT order: b(100)→s0, c(60)→s1, d(50)→s1? no: loads after c are
+	// {100, 60}; d goes to s1 (110? no — 60+50=110 vs 100... lightest is
+	// s1 at 60) → s1; then a(10): loads {100, 110} → s0; e(10): {110,110}
+	// → tie, lowest id s0.
+	want := map[string]int{"b": 0, "c": 1, "d": 1, "a": 0, "e": 0}
+	for i, n := range names {
+		if got := assign(i, n); got != want[n] {
+			t.Errorf("host %s placed on shard %d, want %d", n, got, want[n])
+		}
+	}
+	// Same inputs, same assignment — the function is a pure placement.
+	again := PlaceByTraffic(names, traffic, 2)
+	for i, n := range names {
+		if assign(i, n) != again(i, n) {
+			t.Fatalf("placement of %s not deterministic", n)
+		}
+	}
+	// A host the profile never saw falls back to round-robin by index.
+	if got := assign(3, "ghost"); got != 3%2 {
+		t.Errorf("unknown host placed on shard %d, want %d", got, 3%2)
+	}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero shards", func() { PlaceByTraffic(names, traffic, 0) })
+	mustPanic("length mismatch", func() { PlaceByTraffic(names, traffic[:3], 2) })
+}
+
+// starSpec is the placement tests' workload: src blasts addressed frames
+// at three receivers with very uneven per-receiver volume, so traffic
+// profiling has a real gradient to see.
+func starSpec() Spec {
+	return Spec{
+		Seed: 4242,
+		Hosts: []HostSpec{
+			{Name: "src", Kernel: kernel.Options{IdleLoop: true}},
+			{Name: "dst1"}, {Name: "dst2"}, {Name: "dst3"},
+		},
+		Switches: []SwitchSpec{{Name: "lan", Members: []string{"src", "dst1", "dst2", "dst3"}}},
+	}
+}
+
+// driveStar starts the topology and sends count frames to each dst, with
+// dst1 getting 4x and dst2 2x the dst3 volume.
+func driveStar(top *Topology, span sim.Time) {
+	top.Start()
+	src := top.Host("src")
+	for i, dst := range []string{"dst1", "dst2", "dst3"} {
+		n := 40 >> (i * 1) // 40, 20, 10
+		for j := 0; j < n; j++ {
+			src.NIC().TxFromKernel(&netstack.Packet{
+				Flow: i + 1, Src: top.Addr("src"), Dst: top.Addr(dst),
+				Kind: netstack.Data, Size: 600,
+			})
+		}
+	}
+	top.RunFor(span)
+}
+
+// TrafficByHost sees both directions: the sender's transmissions and each
+// receiver's deliveries, graded by volume.
+func TestTrafficByHost(t *testing.T) {
+	top := Build(starSpec())
+	driveStar(top, 20*sim.Millisecond)
+	tr := top.TrafficByHost()
+	if len(tr) != 4 {
+		t.Fatalf("traffic for %d hosts, want 4", len(tr))
+	}
+	// Add order: src, dst1, dst2, dst3.
+	if tr[0] == 0 || tr[1] == 0 || tr[2] == 0 || tr[3] == 0 {
+		t.Fatalf("silent host in %v; every host moved frames", tr)
+	}
+	if !(tr[0] > tr[1] && tr[1] > tr[2] && tr[2] > tr[3]) {
+		t.Fatalf("traffic gradient %v not ordered src > dst1 > dst2 > dst3", tr)
+	}
+}
+
+// AutoPlace's derived assignment is (a) deterministic, (b) spread — the
+// hottest host does not share a shard with the second hottest — and (c)
+// invisible in results: the sharded build under the auto assignment
+// replays the legacy single-engine run byte-for-byte.
+func TestAutoPlaceShardedMatchesLegacy(t *testing.T) {
+	const span = 20 * sim.Millisecond
+	drive := func(top *Topology) { driveStar(top, span/4) }
+
+	assign := AutoPlace(starSpec(), 2, span/4, drive)
+	again := AutoPlace(starSpec(), 2, span/4, drive)
+	names := []string{"src", "dst1", "dst2", "dst3"}
+	for i, n := range names {
+		if assign(i, n) != again(i, n) {
+			t.Fatalf("auto placement of %s not deterministic", n)
+		}
+	}
+	// src dominates the traffic, dst1 is second: LPT puts them apart.
+	if assign(0, "src") == assign(1, "dst1") {
+		t.Error("the two hottest hosts share a shard; LPT should split them")
+	}
+
+	run := func(shards int, auto bool) []byte {
+		spec := starSpec()
+		spec.Shards = shards
+		if auto {
+			spec.Assign = assign
+		}
+		top := Build(spec)
+		driveStar(top, span)
+		buf, err := json.Marshal(top.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	ref := run(0, false)
+	if got := run(2, true); !bytes.Equal(got, ref) {
+		t.Error("auto-placed 2-shard run diverged from the legacy engine")
+	}
+	if got := run(3, true); !bytes.Equal(got, ref) {
+		t.Error("auto-placed 3-shard run diverged from the legacy engine")
+	}
+}
+
+// SyncSnapshot surfaces the group's grant telemetry — and only for
+// sharded builds; the legacy topology has no sync substrate to describe.
+func TestTopologySyncSnapshot(t *testing.T) {
+	top := Build(starSpec())
+	driveStar(top, 20*sim.Millisecond)
+	if s := top.SyncSnapshot(); s != nil {
+		t.Fatal("legacy topology returned a sync snapshot")
+	}
+
+	spec := starSpec()
+	spec.Shards = 2
+	top = Build(spec)
+	driveStar(top, 20*sim.Millisecond)
+	s := top.SyncSnapshot()
+	if s == nil {
+		t.Fatal("sharded topology returned no sync snapshot")
+	}
+	if s.Counters["sync.rounds"] == 0 {
+		t.Error("sync.rounds = 0 after a sharded run")
+	}
+	if s.Counters["sync.mining"] != 1 {
+		t.Error("sync.mining missing; mining is on by default")
+	}
+	if s.Counters["sync.shard00.rounds"] == 0 || s.Counters["sync.shard01.rounds"] == 0 {
+		t.Error("per-shard round counters missing")
+	}
+	h, ok := s.Histograms["sync.grant_width_us"]
+	if !ok || h.Count == 0 {
+		t.Error("sync.grant_width_us histogram missing or empty")
+	}
+	var granted, reached int64
+	for _, sh := range []string{"sync.shard00.", "sync.shard01."} {
+		granted += s.Counters[sh+"granted_ns"]
+		reached += s.Counters[sh+"reached_ns"]
+	}
+	if granted == 0 || reached > granted {
+		t.Errorf("granted %d ns, reached %d ns; want granted > 0 and reached <= granted", granted, reached)
+	}
+}

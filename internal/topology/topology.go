@@ -505,3 +505,50 @@ func (t *Topology) Snapshot() *metrics.Snapshot {
 	}
 	return out
 }
+
+// SyncSnapshot exports the shard group's conservative-sync telemetry
+// (sim.SyncStats) as sync.* instruments: round and message totals, the
+// grant-width/mined-gain/round-width histograms, per-shard utilization
+// counters, and which inbound channel bound each shard's grants. It is
+// deliberately a separate snapshot from Snapshot(): workload telemetry is
+// byte-identical across shard counts by contract, while sync telemetry
+// describes the execution substrate and exists only when sharded — it is
+// still a pure function of virtual state, so for a fixed shard count it
+// is identical at any worker count. Returns nil on single-engine
+// topologies.
+func (t *Topology) SyncSnapshot() *metrics.Snapshot {
+	if t.group == nil {
+		return nil
+	}
+	st := t.group.SyncStats()
+	reg := metrics.NewRegistry()
+	reg.CounterFunc("sync.rounds", func() int64 { return st.Rounds })
+	reg.CounterFunc("sync.messages", func() int64 { return st.Messages })
+	reg.CounterFunc("sync.active_shard_rounds", func() int64 { return st.ActiveShardRounds })
+	if t.group.MiningEnabled() {
+		reg.CounterFunc("sync.mining", func() int64 { return 1 })
+	}
+	reg.Adopt("sync.grant_width_us", st.GrantWidthUS)
+	reg.Adopt("sync.mined_gain_us", st.MinedGainUS)
+	reg.Adopt("sync.round_width", st.RoundWidth)
+	for i := range st.Shards {
+		ss := &st.Shards[i]
+		p := fmt.Sprintf("sync.shard%02d.", i)
+		reg.CounterFunc(p+"rounds", func() int64 { return ss.Rounds })
+		reg.CounterFunc(p+"granted_ns", func() int64 { return ss.GrantedNS })
+		reg.CounterFunc(p+"reached_ns", func() int64 { return ss.ReachedNS })
+		reg.CounterFunc(p+"mined_gain_ns", func() int64 { return ss.MinedGainNS })
+		reg.CounterFunc(p+"idle_rounds", func() int64 { return ss.IdleRounds })
+		reg.CounterFunc(p+"horizon_bound", func() int64 { return ss.HorizonBound })
+	}
+	for src := range st.Binding {
+		for dst, count := range st.Binding[src] {
+			if count == 0 {
+				continue // only channels that ever bound a grant get a key
+			}
+			c := count
+			reg.CounterFunc(fmt.Sprintf("sync.binding.s%02d_to_s%02d", src, dst), func() int64 { return c })
+		}
+	}
+	return reg.Snapshot()
+}
